@@ -1,0 +1,106 @@
+//! Shared helpers for the baseline engines.
+
+use tfx_graph::{DynamicGraph, LabelId, VertexId};
+use tfx_query::{EdgeId, QueryGraph};
+
+/// Ids of the query edges matching the data edge `(src, label, dst)`
+/// (labels of endpoints + edge label, self-loop rule included).
+pub fn matching_query_edges(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    src: VertexId,
+    label: LabelId,
+    dst: VertexId,
+) -> Vec<EdgeId> {
+    (0..q.edge_count() as u32)
+        .map(EdgeId)
+        .filter(|&e| q.edge_matches(g, e, src, label, dst))
+        .collect()
+}
+
+/// A deadline/work budget shared by engines that can blow up on a single
+/// update (SJ-Tree, Graphflow). Once exhausted the engine stops producing
+/// results and reports itself as timed out; the harness then discards the
+/// query, mirroring the paper's per-query timeouts.
+#[derive(Debug, Clone)]
+pub struct WorkBudget {
+    remaining: u64,
+    exhausted: bool,
+}
+
+impl WorkBudget {
+    /// A budget of `units` abstract work units (tuple generations,
+    /// candidate extensions, ...).
+    pub fn new(units: u64) -> Self {
+        WorkBudget { remaining: units, exhausted: false }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Consumes `n` units; returns `false` once the budget is exhausted.
+    #[inline]
+    pub fn consume(&mut self, n: u64) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.remaining < n {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= n;
+        true
+    }
+
+    /// True once the budget ran out (results are incomplete from then on).
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::LabelSet;
+    use tfx_query::QVertexId;
+
+    #[test]
+    fn budget_exhausts_and_sticks() {
+        let mut b = WorkBudget::new(3);
+        assert!(b.consume(2));
+        assert!(!b.is_exhausted());
+        assert!(!b.consume(2));
+        assert!(b.is_exhausted());
+        assert!(!b.consume(0), "stays exhausted");
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut b = WorkBudget::unlimited();
+        assert!(b.consume(u64::MAX / 2));
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn matching_edges_respect_all_filters() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(LabelId(0)));
+        let b = g.add_vertex(LabelSet::single(LabelId(1)));
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(LabelId(0)));
+        let u1 = q.add_vertex(LabelSet::single(LabelId(1)));
+        q.add_edge(u0, u1, Some(LabelId(5))); // e0
+        q.add_edge(u0, u1, None); // e1 wildcard
+        q.add_edge(u1, u0, Some(LabelId(5))); // e2 wrong direction
+        q.add_edge(u0, u0, Some(LabelId(5))); // e3 self loop
+        let _ = (u0, u1);
+        let es = matching_query_edges(&g, &q, a, LabelId(5), b);
+        assert_eq!(es, vec![EdgeId(0), EdgeId(1)]);
+        let es = matching_query_edges(&g, &q, a, LabelId(6), b);
+        assert_eq!(es, vec![EdgeId(1)], "only the wildcard edge");
+        let _ = QVertexId(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the core building blocks:
+//!
+//! * `dcg_transit` — raw DCG edge state transitions,
+//! * `build_dcg` — initial DCG construction, scaling with `|E(g)| · |V(q)|`
+//!   (Lemma 4.1),
+//! * `insert_throughput` / `delete_throughput` — per-engine update costs on
+//!   the LSBench-like stream,
+//! * `subgraph_search` — enumeration rate on a match-heavy query,
+//! * `static_match` — the backtracking matcher used by the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tfx_baselines::{Graphflow, SjTree};
+use tfx_core::{Dcg, EdgeState, TurboFlux, TurboFluxConfig};
+use tfx_datagen::{lsbench, queries, LsBenchConfig, Pcg32};
+use tfx_graph::VertexId;
+use tfx_query::{ContinuousMatcher, MatchSemantics, QVertexId};
+
+fn dcg_transit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcg_transit");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("set_implicit_then_clear", |b| {
+        let mut dcg = Dcg::new(8, QVertexId(0));
+        let mut i = 0u32;
+        b.iter(|| {
+            let pv = VertexId(i % 1024);
+            let cv = VertexId((i * 7 + 1) % 1024);
+            dcg.transit(Some(pv), QVertexId(1 + (i % 7)), cv, Some(EdgeState::Implicit));
+            dcg.transit(Some(pv), QVertexId(1 + (i % 7)), cv, Some(EdgeState::Explicit));
+            dcg.transit(Some(pv), QVertexId(1 + (i % 7)), cv, None);
+            i = i.wrapping_add(1);
+        });
+    });
+    group.finish();
+}
+
+fn build_dcg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_dcg_initial");
+    for users in [100usize, 200, 400] {
+        let d = lsbench::generate(&LsBenchConfig { users, seed: 7, stream_frac: 0.1 });
+        let mut rng = Pcg32::new(11);
+        let q = queries::random_tree_query(&d.schema, 6, &mut rng);
+        group.throughput(Throughput::Elements(d.g0.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
+            b.iter(|| {
+                let e = TurboFlux::new(q.clone(), d.g0.clone(), TurboFluxConfig::default());
+                black_box(e.dcg().stored_edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn insert_throughput(c: &mut Criterion) {
+    let d = lsbench::generate(&LsBenchConfig { users: 200, seed: 7, stream_frac: 0.1 });
+    let mut rng = Pcg32::new(13);
+    let q = queries::random_tree_query(&d.schema, 6, &mut rng);
+    let ops: Vec<_> = d.stream.ops().to_vec();
+
+    let mut group = c.benchmark_group("insert_throughput");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.sample_size(10);
+    group.bench_function("turboflux", |b| {
+        b.iter(|| {
+            let mut e = TurboFlux::new(q.clone(), d.g0.clone(), TurboFluxConfig::default());
+            let mut n = 0u64;
+            for op in &ops {
+                e.apply(op, &mut |_, _| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("graphflow", |b| {
+        b.iter(|| {
+            let mut e = Graphflow::new(q.clone(), d.g0.clone(), MatchSemantics::Homomorphism);
+            let mut n = 0u64;
+            for op in &ops {
+                e.apply(op, &mut |_, _| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("sj_tree", |b| {
+        b.iter(|| {
+            let mut e = SjTree::with_budget(
+                q.clone(),
+                d.g0.clone(),
+                MatchSemantics::Homomorphism,
+                20_000_000,
+            );
+            let mut n = 0u64;
+            for op in &ops {
+                e.apply(op, &mut |_, _| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn delete_throughput(c: &mut Criterion) {
+    let mut d = lsbench::generate(&LsBenchConfig { users: 200, seed: 7, stream_frac: 0.1 });
+    d.append_deletions(0.5, 99);
+    let mut rng = Pcg32::new(13);
+    let q = queries::random_tree_query(&d.schema, 6, &mut rng);
+    let ops: Vec<_> = d.stream.ops().to_vec();
+
+    let mut group = c.benchmark_group("mixed_stream_throughput");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.sample_size(10);
+    group.bench_function("turboflux", |b| {
+        b.iter(|| {
+            let mut e = TurboFlux::new(q.clone(), d.g0.clone(), TurboFluxConfig::default());
+            let mut n = 0u64;
+            for op in &ops {
+                e.apply(op, &mut |_, _| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn static_match(c: &mut Criterion) {
+    let d = lsbench::generate(&LsBenchConfig { users: 150, seed: 7, stream_frac: 0.1 });
+    let g = d.final_graph();
+    let mut rng = Pcg32::new(17);
+    let q = queries::random_tree_query(&d.schema, 6, &mut rng);
+    let mut group = c.benchmark_group("static_match");
+    group.sample_size(10);
+    group.bench_function("count_q6", |b| {
+        b.iter(|| black_box(tfx_match::count_matches(&g, &q, MatchSemantics::Homomorphism)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dcg_transit,
+    build_dcg,
+    insert_throughput,
+    delete_throughput,
+    static_match
+);
+criterion_main!(benches);

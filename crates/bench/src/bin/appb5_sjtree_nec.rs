@@ -1,0 +1,108 @@
+//! Appendix B.5 — SJ-Tree with NEC query compression.
+//!
+//! The paper compresses SJ-Tree's query with TurboISO's neighborhood
+//! equivalence classes: only a small fraction of queries compress at all
+//! (~9.5% of the LSBench tree queries), and for those the cost and
+//! intermediate-result size shrink by a few percent to a few tens of
+//! percent — TurboFlux still wins by orders of magnitude.
+//!
+//! This binary generates star-heavy tree queries until it finds
+//! compressible ones, then compares plain SJ-Tree, SJ-Tree+NEC, and
+//! TurboFlux on the same stream.
+
+use std::time::Instant;
+use tfx_baselines::{nec_compress, NecSjTree, SjTree};
+use tfx_bench::report::{fmt_bytes, fmt_duration, Table};
+use tfx_bench::workloads::lsbench_dataset;
+use tfx_bench::Params;
+use tfx_core::{TurboFlux, TurboFluxConfig};
+use tfx_datagen::{queries, Pcg32};
+use tfx_query::{ContinuousMatcher, MatchSemantics, QueryGraph};
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+
+    // Hunt for compressible tree queries (star shapes compress).
+    let mut compressible: Vec<QueryGraph> = Vec::new();
+    let mut tried = 0u64;
+    while compressible.len() < 5 && tried < 4000 {
+        let mut rng = Pcg32::with_stream(p.seed ^ 0xB5 ^ tried, 0x7);
+        tried += 1;
+        let q = queries::random_tree_query(&d.schema, 6, &mut rng);
+        if nec_compress(&q).is_some() {
+            compressible.push(q);
+        }
+    }
+    eprintln!(
+        "{} compressible queries among {} generated ({:.1}%)",
+        compressible.len(),
+        tried,
+        compressible.len() as f64 * 100.0 / tried as f64
+    );
+
+    let mut t = Table::new(
+        "App B.5: SJ-Tree vs SJ-Tree+NEC vs TurboFlux (compressible tree q6)",
+        &["query", "SJ-Tree cost", "SJ+NEC cost", "SJ bytes", "SJ+NEC bytes", "TurboFlux cost", "counts agree"],
+    );
+    for (i, q) in compressible.iter().enumerate() {
+        // SJ-Tree can burn minutes reaching a large budget on these
+        // star-heavy queries; a tighter cap keeps the appendix run short.
+        let budget = p.work_budget.min(5_000_000);
+
+        let t0 = Instant::now();
+        let mut plain =
+            SjTree::with_budget(q.clone(), d.g0.clone(), MatchSemantics::Homomorphism, budget);
+        let mut n_plain = 0u64;
+        for op in &d.stream {
+            plain.apply(op, &mut |_, _| n_plain += 1);
+        }
+        let plain_cost = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut nec = NecSjTree::try_with_budget(
+            q,
+            d.g0.clone(),
+            MatchSemantics::Homomorphism,
+            budget,
+        )
+        .expect("selected as compressible");
+        for op in &d.stream {
+            nec.apply(op, &mut |_, _| {});
+        }
+        let nec_cost = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut tf = TurboFlux::new(q.clone(), d.g0.clone(), TurboFluxConfig::default());
+        tf.set_deadline(Some(Instant::now() + p.timeout));
+        let mut n_tf = 0u64;
+        for op in &d.stream {
+            tf.apply(op, &mut |_, _| n_tf += 1);
+            if tf.timed_out() {
+                break;
+            }
+        }
+        let tf_cost = t0.elapsed();
+
+        // The NEC engine must represent the same number of original-query
+        // matches as the plain engines (final-state check).
+        let mut plain_total = 0u64;
+        plain.initial_matches(&mut |_| plain_total += 1);
+        let timed_out = plain.timed_out() || nec.timed_out() || tf.timed_out();
+        let agree = timed_out || nec.original_match_count() == plain_total;
+
+        t.row(vec![
+            format!("Q{i}"),
+            fmt_duration(plain_cost),
+            fmt_duration(nec_cost),
+            fmt_bytes(plain.intermediate_result_bytes()),
+            fmt_bytes(nec.intermediate_result_bytes()),
+            fmt_duration(tf_cost),
+            if timed_out { "timeout".into() } else { agree.to_string() },
+        ]);
+        assert!(agree, "NEC expansion must match the plain count");
+        let _ = n_plain;
+        let _ = n_tf;
+    }
+    t.emit();
+}

@@ -1,0 +1,43 @@
+//! Figure 3 — the performance-vs-storage trade-off.
+//!
+//! One row per method with its average matching cost and average
+//! intermediate-result size on the default workload (LSBench tree queries
+//! of size 6): IncIsoMat and Graphflow store nothing but recompute, SJ-Tree
+//! stores everything, TurboFlux sits in the sweet spot.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::report::{fmt_bytes, fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::{lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let sets = tree_query_sets(&d, &p, &[Params::DEFAULT_TREE_SIZE]);
+    let (_, queries) = &sets[0];
+    eprintln!("{} selective tree queries of size {}", queries.len(), Params::DEFAULT_TREE_SIZE);
+
+    // IncIsoMat is orders of magnitude slower; cap its query count so the
+    // figure still completes quickly.
+    let engines =
+        [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow, EngineKind::IncIsoMat];
+    let small: Vec<_> = queries.iter().take(queries.len().min(5)).cloned().collect();
+    let summaries = compare_engines(&engines, &small, &d.g0, &d.stream, &cfg);
+
+    let mut t = Table::new(
+        "Fig 3: performance vs storage trade-off (LSBench tree q6)",
+        &["method", "avg cost(M(Δg,q))", "avg intermediate bytes", "timeouts"],
+    );
+    for s in &summaries {
+        t.row(vec![
+            s.engine.name().to_owned(),
+            if s.completed == 0 { "-".into() } else { fmt_duration(s.mean_cost) },
+            fmt_bytes(s.mean_bytes),
+            s.timeouts.to_string(),
+        ]);
+    }
+    t.emit();
+}

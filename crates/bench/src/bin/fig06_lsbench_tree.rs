@@ -1,0 +1,52 @@
+//! Figure 6 — LSBench tree queries, sizes 3/6/9/12.
+//!
+//! * 6a: average `cost(M(Δg, q))` per engine (TurboFlux / SJ-Tree /
+//!   Graphflow) with per-engine timeout counts,
+//! * 6b: average intermediate-result size, TurboFlux vs SJ-Tree,
+//! * 6c/6d (with `--scatter`): per-query cost scatter rows.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::suite::{compare_engines, cost_table, scatter_table, storage_table};
+use tfx_bench::workloads::{lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let scatter = std::env::args().any(|a| a == "--scatter");
+    let d = lsbench_dataset(&p);
+    eprintln!(
+        "LSBench: |V(g0)|={} |E(g0)|={} |Δg|={} inserts",
+        d.g0.vertex_count(),
+        d.g0.edge_count(),
+        d.stream.insert_count()
+    );
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+
+    let sets = tree_query_sets(&d, &p, &p.tree_sizes);
+    let mut sizes = Vec::new();
+    let mut summaries = Vec::new();
+    for (size, qs) in &sets {
+        eprintln!("size {size}: {} selective queries", qs.len());
+        sizes.push(*size);
+        summaries.push(compare_engines(&engines, qs, &d.g0, &d.stream, &cfg));
+    }
+
+    cost_table("Fig 6a: LSBench tree queries — avg cost(M(Δg,q))", &sizes, &summaries).emit();
+    storage_table("Fig 6b: LSBench tree queries — avg intermediate results", &sizes, &summaries)
+        .emit();
+    if scatter {
+        for (i, size) in sizes.iter().enumerate() {
+            let tf = &summaries[i][0];
+            scatter_table(&format!("Fig 6c: TurboFlux vs SJ-Tree (size {size})"), tf, &summaries[i][1])
+                .emit();
+            scatter_table(
+                &format!("Fig 6d: TurboFlux vs Graphflow (size {size})"),
+                tf,
+                &summaries[i][2],
+            )
+            .emit();
+        }
+    }
+}

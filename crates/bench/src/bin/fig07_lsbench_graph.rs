@@ -1,0 +1,45 @@
+//! Figure 7 — LSBench graph (cyclic) queries, sizes 6/9/12.
+//!
+//! Cyclic query sets mix triangles, squares and pentagons grown to the
+//! target size (§5.1). Tables mirror Figure 6: average cost, average
+//! intermediate size, and optional per-query scatters (`--scatter`).
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::suite::{compare_engines, cost_table, scatter_table, storage_table};
+use tfx_bench::workloads::{graph_query_sets, lsbench_dataset};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let scatter = std::env::args().any(|a| a == "--scatter");
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+
+    let sets = graph_query_sets(&d, &p, &p.graph_sizes);
+    let mut sizes = Vec::new();
+    let mut summaries = Vec::new();
+    for (size, qs) in &sets {
+        eprintln!("size {size}: {} selective cyclic queries", qs.len());
+        sizes.push(*size);
+        summaries.push(compare_engines(&engines, qs, &d.g0, &d.stream, &cfg));
+    }
+
+    cost_table("Fig 7a: LSBench graph queries — avg cost(M(Δg,q))", &sizes, &summaries).emit();
+    storage_table("Fig 7b: LSBench graph queries — avg intermediate results", &sizes, &summaries)
+        .emit();
+    if scatter {
+        for (i, size) in sizes.iter().enumerate() {
+            let tf = &summaries[i][0];
+            scatter_table(&format!("Fig 7c: TurboFlux vs SJ-Tree (size {size})"), tf, &summaries[i][1])
+                .emit();
+            scatter_table(
+                &format!("Fig 7d: TurboFlux vs Graphflow (size {size})"),
+                tf,
+                &summaries[i][2],
+            )
+            .emit();
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 8 — varying the insertion rate (2–10% of the update stream's
+//! triples), LSBench tree queries of size 6.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::report::{fmt_bytes, fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::{lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+    let sets = tree_query_sets(&d, &p, &[Params::DEFAULT_TREE_SIZE]);
+    let (_, queries) = &sets[0];
+    eprintln!("{} selective tree queries of size {}", queries.len(), Params::DEFAULT_TREE_SIZE);
+
+    let mut cost = Table::new(
+        "Fig 8a: varying insertion rate — avg cost(M(Δg,q))",
+        &["rate %", "TurboFlux", "SJ-Tree", "Graphflow", "timeouts (TF/SJ/GF)"],
+    );
+    let mut storage = Table::new(
+        "Fig 8b: varying insertion rate — avg intermediate results",
+        &["rate %", "TurboFlux", "SJ-Tree", "ratio"],
+    );
+    for &rate in &p.insertion_rates {
+        // The full stream is 10% of the dataset's triples; rate r% keeps
+        // r/10 of it.
+        let stream = d.stream_at_rate(f64::from(rate) / 10.0);
+        let sums = compare_engines(&engines, queries, &d.g0, &stream, &cfg);
+        cost.row(vec![
+            rate.to_string(),
+            if sums[0].completed == 0 { "-".into() } else { fmt_duration(sums[0].mean_cost) },
+            if sums[1].completed == 0 { "-".into() } else { fmt_duration(sums[1].mean_cost) },
+            if sums[2].completed == 0 { "-".into() } else { fmt_duration(sums[2].mean_cost) },
+            format!("{}/{}/{}", sums[0].timeouts, sums[1].timeouts, sums[2].timeouts),
+        ]);
+        let ratio = if sums[0].mean_bytes > 0 {
+            format!("{:.1}x", sums[1].mean_bytes as f64 / sums[0].mean_bytes as f64)
+        } else {
+            "-".into()
+        };
+        storage.row(vec![
+            rate.to_string(),
+            fmt_bytes(sums[0].mean_bytes),
+            fmt_bytes(sums[1].mean_bytes),
+            ratio,
+        ]);
+    }
+    cost.emit();
+    storage.emit();
+}

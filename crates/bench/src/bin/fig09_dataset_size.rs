@@ -1,0 +1,60 @@
+//! Figure 9 — varying the dataset size (three scale factors) with a fixed
+//! update-stream size, LSBench tree queries of size 6.
+//!
+//! The paper grows `g0` from 0.1M to 10M users while keeping `Δg` fixed; we
+//! scale users by 1× / 4× / 16× and truncate every stream to the smallest
+//! scale's edge-op count.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::report::{fmt_bytes, fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::{lsbench_dataset_scaled, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+    let factors = [1usize, 4, 16];
+    let datasets: Vec<_> = factors.iter().map(|&f| lsbench_dataset_scaled(&p, f)).collect();
+    let fixed_stream_len = datasets
+        .iter()
+        .map(|d| d.stream.insert_count())
+        .min()
+        .expect("non-empty dataset list");
+
+    // Queries come from the smallest scale (same schema everywhere).
+    let sets = tree_query_sets(&datasets[0], &p, &[Params::DEFAULT_TREE_SIZE]);
+    let (_, queries) = &sets[0];
+    eprintln!(
+        "{} selective queries; stream fixed to {} inserts",
+        queries.len(),
+        fixed_stream_len
+    );
+
+    let mut cost = Table::new(
+        "Fig 9a: varying dataset size — avg cost(M(Δg,q))",
+        &["users", "|E(g0)|", "TurboFlux", "SJ-Tree", "Graphflow", "timeouts (TF/SJ/GF)"],
+    );
+    let mut storage = Table::new(
+        "Fig 9b: varying dataset size — avg intermediate results",
+        &["users", "TurboFlux", "SJ-Tree"],
+    );
+    for (f, d) in factors.iter().zip(&datasets) {
+        let stream = d.stream.truncate_edge_ops(fixed_stream_len);
+        let sums = compare_engines(&engines, queries, &d.g0, &stream, &cfg);
+        let users = (p.users * f).to_string();
+        cost.row(vec![
+            users.clone(),
+            d.g0.edge_count().to_string(),
+            if sums[0].completed == 0 { "-".into() } else { fmt_duration(sums[0].mean_cost) },
+            if sums[1].completed == 0 { "-".into() } else { fmt_duration(sums[1].mean_cost) },
+            if sums[2].completed == 0 { "-".into() } else { fmt_duration(sums[2].mean_cost) },
+            format!("{}/{}/{}", sums[0].timeouts, sums[1].timeouts, sums[2].timeouts),
+        ]);
+        storage.row(vec![users, fmt_bytes(sums[0].mean_bytes), fmt_bytes(sums[1].mean_bytes)]);
+    }
+    cost.emit();
+    storage.emit();
+}

@@ -1,0 +1,33 @@
+//! Figure 10 (Appendix B.1) — subgraph-isomorphism semantics on LSBench
+//! tree and graph queries.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::suite::{compare_engines, cost_table};
+use tfx_bench::workloads::{graph_query_sets, lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Isomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+
+    let tree_sets = tree_query_sets(&d, &p, &p.tree_sizes);
+    let mut sizes = Vec::new();
+    let mut summaries = Vec::new();
+    for (size, qs) in &tree_sets {
+        sizes.push(*size);
+        summaries.push(compare_engines(&engines, qs, &d.g0, &d.stream, &cfg));
+    }
+    cost_table("Fig 10a: isomorphism — LSBench tree queries", &sizes, &summaries).emit();
+
+    let graph_sets = graph_query_sets(&d, &p, &p.graph_sizes);
+    let mut sizes = Vec::new();
+    let mut summaries = Vec::new();
+    for (size, qs) in &graph_sets {
+        sizes.push(*size);
+        summaries.push(compare_engines(&engines, qs, &d.g0, &d.stream, &cfg));
+    }
+    cost_table("Fig 10b: isomorphism — LSBench graph queries", &sizes, &summaries).emit();
+}

@@ -1,0 +1,51 @@
+//! Figure 11 (Appendix B.2) — varying the deletion rate (2–10% of the
+//! insertions), insertion rate fixed at 6%. SJ-Tree is excluded: it does
+//! not support deletion.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::report::{fmt_bytes, fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::{lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::Graphflow];
+    let sets = tree_query_sets(&d, &p, &[Params::DEFAULT_TREE_SIZE]);
+    let (_, queries) = &sets[0];
+    eprintln!("{} selective tree queries of size {}", queries.len(), Params::DEFAULT_TREE_SIZE);
+
+    let mut cost = Table::new(
+        "Fig 11a: varying deletion rate — avg cost(M(Δg,q))",
+        &["del rate %", "TurboFlux", "Graphflow", "timeouts (TF/GF)"],
+    );
+    let mut storage = Table::new(
+        "Fig 11b: varying deletion rate — avg intermediate results",
+        &["del rate %", "TurboFlux bytes"],
+    );
+    for &rate in &p.deletion_rates {
+        // Insertion rate fixed at 6% of the stream scale; deletions are
+        // `rate`% of those insertions appended afterwards.
+        let mut scoped = tfx_datagen::Dataset {
+            g0: d.g0.clone(),
+            stream: d.stream_at_rate(0.6),
+            interner: d.interner.clone(),
+            schema: d.schema.clone(),
+            vertex_types: d.vertex_types.clone(),
+        };
+        scoped.append_deletions(f64::from(rate) / 100.0, p.seed ^ u64::from(rate));
+        let sums = compare_engines(&engines, queries, &scoped.g0, &scoped.stream, &cfg);
+        cost.row(vec![
+            rate.to_string(),
+            if sums[0].completed == 0 { "-".into() } else { fmt_duration(sums[0].mean_cost) },
+            if sums[1].completed == 0 { "-".into() } else { fmt_duration(sums[1].mean_cost) },
+            format!("{}/{}", sums[0].timeouts, sums[1].timeouts),
+        ]);
+        storage.row(vec![rate.to_string(), fmt_bytes(sums[0].mean_bytes)]);
+    }
+    cost.emit();
+    storage.emit();
+}

@@ -1,0 +1,72 @@
+//! Figure 12 (Appendix B.3) — comparison with IncIsoMat.
+//!
+//! As in the paper: take the two tree queries of size 6 with the minimum
+//! and maximum TurboFlux cost, run a 10 000-insertion stream (12a) and the
+//! same stream plus 6% deletions (12b).
+
+use tfx_bench::harness::{bare_update_time, run_query_on_engine, RunConfig};
+use tfx_bench::report::{fmt_duration, speedup, Table};
+use tfx_bench::workloads::{lsbench_dataset, tree_query_sets};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = lsbench_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let sets = tree_query_sets(&d, &p, &[Params::DEFAULT_TREE_SIZE]);
+    let (_, queries) = &sets[0];
+    assert!(!queries.is_empty(), "no selective queries — increase TFX_USERS");
+
+    // Rank the queries by TurboFlux cost to select min / max.
+    let ins_stream = d.stream.truncate_edge_ops(10_000.min(d.stream.insert_count()));
+    let bare = bare_update_time(&d.g0, &ins_stream);
+    let mut ranked: Vec<(usize, std::time::Duration)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let r = run_query_on_engine(EngineKind::TurboFlux, q, &d.g0, &ins_stream, bare, &cfg);
+            (i, r.matching_cost)
+        })
+        .collect();
+    ranked.sort_by_key(|&(_, c)| c);
+    let picks =
+        [("min-cost", ranked[0].0), ("max-cost", ranked[ranked.len() - 1].0)];
+
+    // ~6% deletions of the inserted edges (the paper's "600 deletions per
+    // 10 000 insertions").
+    let del_stream = {
+        let mut scoped = tfx_datagen::Dataset {
+            g0: d.g0.clone(),
+            stream: ins_stream.clone(),
+            interner: d.interner.clone(),
+            schema: d.schema.clone(),
+            vertex_types: d.vertex_types.clone(),
+        };
+        scoped.append_deletions(0.06, p.seed ^ 12);
+        scoped.stream
+    };
+
+    for (label, stream) in
+        [("Fig 12a: 10K insertions", &ins_stream), ("Fig 12b: +6% deletions", &del_stream)]
+    {
+        let bare = bare_update_time(&d.g0, stream);
+        let mut t = Table::new(
+            format!("{label} — TurboFlux vs IncIsoMat"),
+            &["query", "TurboFlux", "IncIsoMat", "slowdown", "IncIsoMat timeout"],
+        );
+        for (name, idx) in picks {
+            let q = &queries[idx];
+            let tf = run_query_on_engine(EngineKind::TurboFlux, q, &d.g0, stream, bare, &cfg);
+            let inc = run_query_on_engine(EngineKind::IncIsoMat, q, &d.g0, stream, bare, &cfg);
+            t.row(vec![
+                name.into(),
+                fmt_duration(tf.matching_cost),
+                fmt_duration(inc.matching_cost),
+                speedup(inc.matching_cost, tf.matching_cost),
+                inc.timed_out.to_string(),
+            ]);
+        }
+        t.emit();
+    }
+}

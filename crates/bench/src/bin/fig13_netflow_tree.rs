@@ -1,0 +1,74 @@
+//! Figures 13 + B.4 — Netflow tree queries, sizes 3/6/9/12.
+//!
+//! Netflow has no vertex labels and only eight edge labels, so SJ-Tree and
+//! Graphflow time out on almost everything (the paper could only estimate
+//! lower bounds). As in §B.4 we report TurboFlux's cost per size on the
+//! full set, plus the competitors on the minimum-cost query per size.
+
+use tfx_bench::harness::{bare_update_time, run_query_on_engine, RunConfig};
+use tfx_bench::report::{fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::netflow_dataset;
+use tfx_bench::{EngineKind, Params};
+use tfx_datagen::queries;
+use tfx_query::{MatchSemantics, QueryGraph};
+
+fn main() {
+    let p = Params::from_env();
+    let d = netflow_dataset(&p);
+    eprintln!(
+        "Netflow: |V(g0)|={} |E(g0)|={} |Δg|={}",
+        d.g0.vertex_count(),
+        d.g0.edge_count(),
+        d.stream.insert_count()
+    );
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+
+    let mut tf_table = Table::new(
+        "Fig 13: Netflow tree queries — TurboFlux avg cost(M(Δg,q))",
+        &["query size", "TurboFlux avg cost", "timeouts", "queries"],
+    );
+    let mut vs_table = Table::new(
+        "B.4: min-cost query per size — all engines",
+        &["query size", "TurboFlux", "SJ-Tree", "SJ timeout", "Graphflow", "GF timeout"],
+    );
+    let bare = bare_update_time(&d.g0, &d.stream);
+    for &size in &p.tree_sizes {
+        let qs: Vec<QueryGraph> = queries::query_set(
+            p.queries_per_set.min(10),
+            &queries::QueryGenConfig { seed: p.seed ^ 0xF13 ^ (size as u64) << 3 },
+            |rng| Some(queries::random_tree_query(&d.schema, size, rng)),
+        );
+        let sums = compare_engines(&[EngineKind::TurboFlux], &qs, &d.g0, &d.stream, &cfg);
+        let tf = &sums[0];
+        tf_table.row(vec![
+            size.to_string(),
+            if tf.completed == 0 { "-".into() } else { fmt_duration(tf.mean_cost) },
+            tf.timeouts.to_string(),
+            qs.len().to_string(),
+        ]);
+
+        // Minimum-cost completed query → run the competitors on it.
+        let min = tf
+            .per_query
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.timed_out)
+            .min_by_key(|(_, r)| r.matching_cost);
+        if let Some((idx, tfr)) = min {
+            let q = &qs[idx];
+            let sj = run_query_on_engine(EngineKind::SjTree, q, &d.g0, &d.stream, bare, &cfg);
+            let gf = run_query_on_engine(EngineKind::Graphflow, q, &d.g0, &d.stream, bare, &cfg);
+            vs_table.row(vec![
+                size.to_string(),
+                fmt_duration(tfr.matching_cost),
+                fmt_duration(sj.matching_cost),
+                sj.timed_out.to_string(),
+                fmt_duration(gf.matching_cost),
+                gf.timed_out.to_string(),
+            ]);
+        }
+    }
+    tf_table.emit();
+    vs_table.emit();
+}

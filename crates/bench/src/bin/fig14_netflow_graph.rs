@@ -1,0 +1,42 @@
+//! Figure 14 (Appendix B.4) — Netflow graph (cyclic) queries, sizes
+//! 6/9/12: TurboFlux cost on non-selective cyclic queries.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::report::{fmt_duration, Table};
+use tfx_bench::suite::compare_engines;
+use tfx_bench::workloads::netflow_dataset;
+use tfx_bench::{EngineKind, Params};
+use tfx_datagen::queries;
+use tfx_query::{MatchSemantics, QueryGraph};
+
+fn main() {
+    let p = Params::from_env();
+    let d = netflow_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+
+    let mut t = Table::new(
+        "Fig 14: Netflow graph queries — TurboFlux avg cost(M(Δg,q))",
+        &["query size", "TurboFlux avg cost", "timeouts", "queries"],
+    );
+    for &size in &p.graph_sizes {
+        let mut made = 0usize;
+        let qs: Vec<QueryGraph> = queries::query_set(
+            p.queries_per_set.min(10),
+            &queries::QueryGenConfig { seed: p.seed ^ 0xF14 ^ (size as u64) << 3 },
+            |rng| {
+                let cycle = [3, 4, 5][made % 3];
+                made += 1;
+                queries::random_cyclic_query(&d.schema, cycle, size, rng)
+            },
+        );
+        let sums = compare_engines(&[EngineKind::TurboFlux], &qs, &d.g0, &d.stream, &cfg);
+        let tf = &sums[0];
+        t.row(vec![
+            size.to_string(),
+            if tf.completed == 0 { "-".into() } else { fmt_duration(tf.mean_cost) },
+            tf.timeouts.to_string(),
+            qs.len().to_string(),
+        ]);
+    }
+    t.emit();
+}

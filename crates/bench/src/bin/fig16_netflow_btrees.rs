@@ -1,0 +1,30 @@
+//! Figure 16 (Appendix B.6) — Netflow complete-binary-tree queries from
+//! the SJ-Tree paper [7], sizes 4–14, all three engines.
+
+use tfx_bench::harness::RunConfig;
+use tfx_bench::suite::{compare_engines, cost_table};
+use tfx_bench::workloads::{btree_query_sets, netflow_dataset};
+use tfx_bench::{EngineKind, Params};
+use tfx_query::MatchSemantics;
+
+fn main() {
+    let p = Params::from_env();
+    let d = netflow_dataset(&p);
+    let cfg = RunConfig::new(MatchSemantics::Homomorphism, p.timeout, p.work_budget);
+    let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
+
+    let sets = btree_query_sets(&d, &p);
+    let mut sizes = Vec::new();
+    let mut summaries = Vec::new();
+    for (size, qs) in &sets {
+        eprintln!("size {size}: {} selective binary-tree queries", qs.len());
+        sizes.push(*size);
+        summaries.push(compare_engines(&engines, qs, &d.g0, &d.stream, &cfg));
+    }
+    cost_table(
+        "Fig 16: Netflow binary-tree queries from [7] — avg cost(M(Δg,q))",
+        &sizes,
+        &summaries,
+    )
+    .emit();
+}

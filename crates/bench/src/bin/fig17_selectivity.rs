@@ -1,0 +1,95 @@
+//! Figure 17 (Appendix C) — distribution of query selectivity: per
+//! queryset, the number of queries whose positive-match count over the
+//! insertion stream falls into each of eight ranges.
+
+use tfx_bench::harness::count_stream_positives;
+use tfx_bench::report::Table;
+use tfx_bench::workloads::{lsbench_dataset, netflow_dataset};
+use tfx_bench::Params;
+use tfx_datagen::{queries, Dataset};
+use tfx_query::QueryGraph;
+
+const BUCKETS: [(&str, u64, u64); 8] = [
+    ("0", 0, 0),
+    ("1-10", 1, 10),
+    ("11-100", 11, 100),
+    ("101-1K", 101, 1_000),
+    ("1K-10K", 1_001, 10_000),
+    ("10K-100K", 10_001, 100_000),
+    ("100K-1M", 100_001, 1_000_000),
+    (">1M", 1_000_001, u64::MAX),
+];
+
+fn distribution(qs: &[QueryGraph], d: &Dataset, timeout: std::time::Duration) -> [usize; 8] {
+    let mut counts = [0usize; 8];
+    for q in qs {
+        let Some(n) = count_stream_positives(q, d, &d.stream, timeout) else {
+            continue; // timeout: not counted, as in the paper's figures
+        };
+        for (i, &(_, lo, hi)) in BUCKETS.iter().enumerate() {
+            if n >= lo && n <= hi {
+                counts[i] += 1;
+                break;
+            }
+        }
+    }
+    counts
+}
+
+fn main() {
+    let p = Params::from_env();
+    let ls = lsbench_dataset(&p);
+    let nf = netflow_dataset(&p);
+
+    let mut t = Table::new(
+        "Fig 17: selectivity distribution (#queries per positive-match range)",
+        &["queryset", "0", "1-10", "11-100", "101-1K", "1K-10K", "10K-100K", "100K-1M", ">1M"],
+    );
+
+    let mk_row = |t: &mut Table, name: &str, dist: [usize; 8]| {
+        let mut row = vec![name.to_owned()];
+        row.extend(dist.iter().map(ToString::to_string));
+        t.row(row);
+    };
+
+    // (a) LSBench tree, (b) LSBench graph, (c) Netflow tree, (d) Netflow
+    // graph, (e) Netflow paths [7], (f) Netflow binary trees [7].
+    let n = p.queries_per_set;
+    let tree_ls = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 1 }, |rng| {
+        Some(queries::random_tree_query(&ls.schema, 6, rng))
+    });
+    mk_row(&mut t, "LSBench tree q6", distribution(&tree_ls, &ls, p.timeout));
+
+    let mut made = 0usize;
+    let graph_ls = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 2 }, |rng| {
+        let cycle = [3, 4, 5][made % 3];
+        made += 1;
+        queries::random_cyclic_query(&ls.schema, cycle, 6, rng)
+    });
+    mk_row(&mut t, "LSBench graph q6", distribution(&graph_ls, &ls, p.timeout));
+
+    let tree_nf = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 3 }, |rng| {
+        Some(queries::random_tree_query(&nf.schema, 6, rng))
+    });
+    mk_row(&mut t, "Netflow tree q6", distribution(&tree_nf, &nf, p.timeout));
+
+    let mut made = 0usize;
+    let graph_nf = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 4 }, |rng| {
+        let cycle = [3, 4, 5][made % 3];
+        made += 1;
+        queries::random_cyclic_query(&nf.schema, cycle, 6, rng)
+    });
+    mk_row(&mut t, "Netflow graph q6", distribution(&graph_nf, &nf, p.timeout));
+
+    let paths = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 5 }, |rng| {
+        Some(queries::random_path_query(&nf.schema, 4, rng))
+    });
+    mk_row(&mut t, "Netflow paths [7]", distribution(&paths, &nf, p.timeout));
+
+    let btrees = queries::query_set(n, &queries::QueryGenConfig { seed: p.seed ^ 6 }, |rng| {
+        Some(queries::random_binary_tree_query(&nf.schema, 6, rng))
+    });
+    mk_row(&mut t, "Netflow btrees [7]", distribution(&btrees, &nf, p.timeout));
+
+    t.emit();
+}

@@ -1,0 +1,23 @@
+//! `tfx-bench` — the experiment harness reproducing every table and figure
+//! of the paper's evaluation (§5 + Appendices B and C).
+//!
+//! Each figure has a dedicated binary (`fig03_tradeoff` …
+//! `fig17_selectivity`, see DESIGN.md's per-experiment index) that prints
+//! the same rows/series the paper plots, plus a JSON dump for downstream
+//! tooling. Criterion micro-benchmarks live under `benches/`.
+//!
+//! Scales are laptop-sized by default and adjustable through environment
+//! variables (see [`params`]); the *shapes* of the results — who wins, by
+//! roughly what factor — are the reproduction target, not absolute
+//! numbers.
+
+pub mod harness;
+pub mod params;
+pub mod report;
+pub mod suite;
+pub mod workloads;
+
+pub use harness::{run_query_on_engine, EngineKind, QueryRun, RunConfig};
+pub use params::Params;
+pub use report::Table;
+pub use suite::{compare_engines, EngineSummary};

@@ -1,0 +1,154 @@
+//! Plain-text table printing plus JSON dumps for the experiment binaries.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// A printable result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption (figure id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (pre-formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a caption and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table and, when `TFX_JSON` is set, a JSON line.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if std::env::var("TFX_JSON").is_ok() {
+            println!("{}", serde_json::to_string(self).expect("table serializes"));
+        }
+    }
+}
+
+/// Formats a duration in adaptive units (µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Arithmetic mean of durations (zero for an empty slice).
+pub fn mean_duration(ds: &[Duration]) -> Duration {
+    if ds.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = ds.iter().sum();
+    total / ds.len() as u32
+}
+
+/// Ratio `a / b` guarding against zero (returns infinity-ish marker).
+pub fn speedup(a: Duration, b: Duration) -> String {
+    if b.is_zero() {
+        return "-".into();
+    }
+    format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig X", &["size", "time"]);
+        t.row(vec!["3".into(), "1.2ms".into()]);
+        t.row(vec!["12".into(), "100.00ms".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("size"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn means_and_speedups() {
+        let ds = [Duration::from_millis(10), Duration::from_millis(30)];
+        assert_eq!(mean_duration(&ds), Duration::from_millis(20));
+        assert_eq!(mean_duration(&[]), Duration::ZERO);
+        assert_eq!(speedup(Duration::from_secs(10), Duration::from_secs(2)), "5.0x");
+        assert_eq!(speedup(Duration::from_secs(1), Duration::ZERO), "-");
+    }
+}

@@ -1,0 +1,54 @@
+//! Engine configuration.
+
+use tfx_query::MatchSemantics;
+
+/// Tunable options for a [`crate::TurboFlux`] engine instance.
+#[derive(Clone, Copy, Debug)]
+pub struct TurboFluxConfig {
+    /// Matching semantics (homomorphism by default, §2.1).
+    pub semantics: MatchSemantics,
+    /// Enable `AdjustMatchingOrder` (§4.1): recompute the matching order
+    /// when per-query-vertex explicit-edge counts drift. Disable for the
+    /// static-order ablation.
+    pub adjust_matching_order: bool,
+    /// Drift factor that triggers an order recomputation (paper: "a
+    /// significant change"; we use 2×).
+    pub order_drift_factor: f64,
+    /// Count floor below which drift is ignored (avoids churn on tiny
+    /// counts).
+    pub order_drift_floor: u64,
+}
+
+impl Default for TurboFluxConfig {
+    fn default() -> Self {
+        TurboFluxConfig {
+            semantics: MatchSemantics::Homomorphism,
+            adjust_matching_order: true,
+            order_drift_factor: 2.0,
+            order_drift_floor: 64,
+        }
+    }
+}
+
+impl TurboFluxConfig {
+    /// Default configuration with the given semantics.
+    pub fn with_semantics(semantics: MatchSemantics) -> Self {
+        TurboFluxConfig { semantics, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = TurboFluxConfig::default();
+        assert_eq!(c.semantics, MatchSemantics::Homomorphism);
+        assert!(c.adjust_matching_order);
+        assert_eq!(
+            TurboFluxConfig::with_semantics(MatchSemantics::Isomorphism).semantics,
+            MatchSemantics::Isomorphism
+        );
+    }
+}

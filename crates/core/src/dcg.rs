@@ -1,0 +1,474 @@
+//! The data-centric graph (DCG), §3.1.
+//!
+//! The DCG is conceptually a complete multigraph over the data vertices in
+//! which every ordered pair `(v, v')` carries one edge per non-root query
+//! vertex `u'`, in state NULL / IMPLICIT / EXPLICIT. NULL edges are never
+//! stored; the remaining edges are exactly the intermediate results:
+//!
+//! * an **implicit** edge `(v, u', v')` records that some data path
+//!   `v_s → v.v'` matches the query-tree path `u_s → P(u').u'` but at least
+//!   one subtree of `u'` is not yet matched under `v'` (Def. 5);
+//! * an **explicit** edge additionally has every subtree of `u'` matched
+//!   (Def. 4).
+//!
+//! The artificial start edges `(v_s*, u_s, v_s)` are stored as a per-vertex
+//! root state. Storage is adjacency keyed per query vertex in *both*
+//! directions, so the engine can walk downward (`out_edges`) during
+//! `BuildDCG`/`SubgraphSearch` and upward (`in_edges`) during
+//! `BuildUpwardsAndEval` without touching the data graph. Per-vertex
+//! explicit-out bitmaps make the paper's `MatchAllChildren` test O(1).
+//!
+//! Deviation from the paper (documented in DESIGN.md): implicit edges are
+//! stored rather than derived from a bitmap plus data-graph scans.
+
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use tfx_graph::VertexId;
+use tfx_query::QVertexId;
+
+/// State of a stored DCG edge. NULL is represented by absence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum EdgeState {
+    /// Path condition holds, some subtree of the candidate is unmatched.
+    Implicit,
+    /// Path condition holds and every subtree is matched.
+    Explicit,
+}
+
+/// One direction of a DCG adjacency entry: edges with a fixed query-vertex
+/// label incident to a fixed data vertex.
+#[derive(Default, Clone, Debug)]
+struct EdgeList {
+    edges: Vec<(VertexId, EdgeState)>,
+    expl: u32,
+}
+
+impl EdgeList {
+    fn get(&self, v: VertexId) -> Option<EdgeState> {
+        self.edges.iter().find(|&&(w, _)| w == v).map(|&(_, s)| s)
+    }
+
+    /// Sets the state of the edge to `v`, returning the previous state.
+    fn set(&mut self, v: VertexId, st: EdgeState) -> Option<EdgeState> {
+        for entry in &mut self.edges {
+            if entry.0 == v {
+                let old = entry.1;
+                entry.1 = st;
+                if old == EdgeState::Explicit && st != EdgeState::Explicit {
+                    self.expl -= 1;
+                } else if old != EdgeState::Explicit && st == EdgeState::Explicit {
+                    self.expl += 1;
+                }
+                return Some(old);
+            }
+        }
+        self.edges.push((v, st));
+        if st == EdgeState::Explicit {
+            self.expl += 1;
+        }
+        None
+    }
+
+    fn remove(&mut self, v: VertexId) -> Option<EdgeState> {
+        let pos = self.edges.iter().position(|&(w, _)| w == v)?;
+        let (_, old) = self.edges.swap_remove(pos);
+        if old == EdgeState::Explicit {
+            self.expl -= 1;
+        }
+        Some(old)
+    }
+
+    fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn expl_count(&self) -> usize {
+        self.expl as usize
+    }
+}
+
+/// The stored DCG for one registered query.
+pub struct Dcg {
+    nq: usize,
+    root_qv: QVertexId,
+    /// Per child query vertex: edges labeled with it, keyed by the
+    /// tree-parent-side data vertex.
+    out: Vec<FxHashMap<VertexId, EdgeList>>,
+    /// Same edges keyed by the child-side data vertex.
+    inc: Vec<FxHashMap<VertexId, EdgeList>>,
+    /// Artificial start edges `(v_s*, u_s, v)`.
+    root: FxHashMap<VertexId, EdgeState>,
+    /// Bit `u` set iff the vertex has ≥1 explicit outgoing edge labeled `u`.
+    expl_out_bits: FxHashMap<VertexId, u64>,
+    /// Global explicit-edge count per query vertex (drives matching-order
+    /// maintenance).
+    expl_count: Vec<u64>,
+    stored_edges: u64,
+}
+
+impl Dcg {
+    /// An empty DCG for a query with `nq` vertices rooted at `root_qv`.
+    ///
+    /// Panics if `nq > 64` (the explicit-out bitmaps use one `u64` per data
+    /// vertex, and the paper's queries are ≤ 14 vertices).
+    pub fn new(nq: usize, root_qv: QVertexId) -> Self {
+        assert!(nq <= 64, "queries are limited to 64 vertices");
+        Dcg {
+            nq,
+            root_qv,
+            out: vec![FxHashMap::default(); nq],
+            inc: vec![FxHashMap::default(); nq],
+            root: FxHashMap::default(),
+            expl_out_bits: FxHashMap::default(),
+            expl_count: vec![0; nq],
+            stored_edges: 0,
+        }
+    }
+
+    /// The starting query vertex `u_s`.
+    #[inline]
+    pub fn root_qv(&self) -> QVertexId {
+        self.root_qv
+    }
+
+    /// State of the artificial start edge `(v_s*, u_s, v)`.
+    #[inline]
+    pub fn root_state(&self, v: VertexId) -> Option<EdgeState> {
+        self.root.get(&v).copied()
+    }
+
+    /// State of the DCG edge `(pv, u, cv)` for non-root `u`.
+    pub fn state(&self, pv: VertexId, u: QVertexId, cv: VertexId) -> Option<EdgeState> {
+        debug_assert_ne!(u, self.root_qv);
+        self.out[u.index()].get(&pv).and_then(|l| l.get(cv))
+    }
+
+    /// Sets (inserting if absent) or clears (when `new` is `None`) the state
+    /// of a DCG edge. `parent` is `None` exactly for the artificial start
+    /// edge of `v`. Returns the previous state.
+    pub fn transit(
+        &mut self,
+        parent: Option<VertexId>,
+        u: QVertexId,
+        v: VertexId,
+        new: Option<EdgeState>,
+    ) -> Option<EdgeState> {
+        match parent {
+            None => {
+                debug_assert_eq!(u, self.root_qv, "only the start edge has no parent");
+                let old = match new {
+                    Some(st) => self.root.insert(v, st),
+                    None => self.root.remove(&v),
+                };
+                self.fix_counters(u, old, new, 1);
+                old
+            }
+            Some(pv) => {
+                debug_assert_ne!(u, self.root_qv);
+                let old = match new {
+                    Some(st) => {
+                        let o = self.out[u.index()].entry(pv).or_default().set(v, st);
+                        let o2 = self.inc[u.index()].entry(v).or_default().set(pv, st);
+                        debug_assert_eq!(o, o2, "out/in adjacency diverged");
+                        o
+                    }
+                    None => {
+                        let o = self.out[u.index()].get_mut(&pv).and_then(|l| l.remove(v));
+                        let o2 = self.inc[u.index()].get_mut(&v).and_then(|l| l.remove(pv));
+                        debug_assert_eq!(o, o2, "out/in adjacency diverged");
+                        o
+                    }
+                };
+                self.fix_counters(u, old, new, 1);
+                // Maintain the explicit-out bitmap of the parent.
+                let has_expl =
+                    self.out[u.index()].get(&pv).is_some_and(|l| l.expl_count() > 0);
+                let bits = self.expl_out_bits.entry(pv).or_insert(0);
+                if has_expl {
+                    *bits |= 1 << u.0;
+                } else {
+                    *bits &= !(1 << u.0);
+                }
+                old
+            }
+        }
+    }
+
+    fn fix_counters(
+        &mut self,
+        u: QVertexId,
+        old: Option<EdgeState>,
+        new: Option<EdgeState>,
+        weight: u64,
+    ) {
+        if old.is_none() && new.is_some() {
+            self.stored_edges += weight;
+        } else if old.is_some() && new.is_none() {
+            self.stored_edges -= weight;
+        }
+        let was_expl = old == Some(EdgeState::Explicit);
+        let is_expl = new == Some(EdgeState::Explicit);
+        if was_expl && !is_expl {
+            self.expl_count[u.index()] -= weight;
+        } else if !was_expl && is_expl {
+            self.expl_count[u.index()] += weight;
+        }
+    }
+
+    /// Number of stored (implicit or explicit) incoming edges of `v` labeled
+    /// `u`, counting the artificial start edge when `u = u_s`.
+    pub fn in_count_total(&self, v: VertexId, u: QVertexId) -> usize {
+        if u == self.root_qv {
+            usize::from(self.root.contains_key(&v))
+        } else {
+            self.inc[u.index()].get(&v).map_or(0, EdgeList::len)
+        }
+    }
+
+    /// Number of *explicit* incoming edges of `v` labeled `u` (start edge
+    /// included when `u = u_s`).
+    pub fn in_expl_count(&self, v: VertexId, u: QVertexId) -> usize {
+        if u == self.root_qv {
+            usize::from(self.root_state(v) == Some(EdgeState::Explicit))
+        } else {
+            self.inc[u.index()].get(&v).map_or(0, EdgeList::expl_count)
+        }
+    }
+
+    /// The stored incoming edges of `v` labeled `u` as `(parent, state)`
+    /// pairs. Not defined for `u = u_s` (the engine special-cases the start
+    /// edge).
+    pub fn in_edges(&self, v: VertexId, u: QVertexId) -> Vec<(VertexId, EdgeState)> {
+        debug_assert_ne!(u, self.root_qv);
+        self.inc[u.index()].get(&v).map_or_else(Vec::new, |l| l.edges.clone())
+    }
+
+    /// The stored outgoing edges of `pv` labeled `u` as `(child, state)`
+    /// pairs.
+    pub fn out_edges(&self, pv: VertexId, u: QVertexId) -> Vec<(VertexId, EdgeState)> {
+        debug_assert_ne!(u, self.root_qv);
+        self.out[u.index()].get(&pv).map_or_else(Vec::new, |l| l.edges.clone())
+    }
+
+    /// Calls `f` for each *explicit* outgoing edge target of `pv` labeled
+    /// `u` (the hot loop of `SubgraphSearch`).
+    pub fn for_each_expl_out(&self, pv: VertexId, u: QVertexId, f: &mut dyn FnMut(VertexId) -> bool) {
+        for &(v, st) in self.out_edge_slice(pv, u) {
+            if st == EdgeState::Explicit && !f(v) {
+                return;
+            }
+        }
+    }
+
+    /// The stored outgoing edges of `pv` labeled `u` as a borrowed slice
+    /// (allocation-free enumeration for the search hot loop; filter on the
+    /// state yourself).
+    #[inline]
+    pub fn out_edge_slice(&self, pv: VertexId, u: QVertexId) -> &[(VertexId, EdgeState)] {
+        debug_assert_ne!(u, self.root_qv);
+        self.out[u.index()].get(&pv).map_or(&[][..], |l| &l.edges)
+    }
+
+    /// Number of explicit outgoing edges of `pv` labeled `u`.
+    pub fn out_expl_count(&self, pv: VertexId, u: QVertexId) -> usize {
+        debug_assert_ne!(u, self.root_qv);
+        self.out[u.index()].get(&pv).map_or(0, EdgeList::expl_count)
+    }
+
+    /// The explicit-out bitmap of `v` (bit `u` set iff ≥1 explicit out edge
+    /// labeled `u`). O(1) `MatchAllChildren` support.
+    #[inline]
+    pub fn expl_out_bits(&self, v: VertexId) -> u64 {
+        self.expl_out_bits.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total number of stored DCG edges (start edges included) — the
+    /// paper's intermediate-result *size* measure for TurboFlux.
+    #[inline]
+    pub fn stored_edge_count(&self) -> u64 {
+        self.stored_edges
+    }
+
+    /// Approximate resident bytes of the stored intermediate results: each
+    /// non-root edge appears in both adjacency directions as a
+    /// `(VertexId, state)` entry (8 bytes each), start edges once.
+    pub fn resident_bytes(&self) -> usize {
+        let roots = self.root.len();
+        let non_root = self.stored_edges as usize - roots;
+        non_root * 16 + roots * 8
+    }
+
+    /// Global explicit-edge counts per query vertex.
+    #[inline]
+    pub fn expl_counts(&self) -> &[u64] {
+        &self.expl_count
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn query_vertex_count(&self) -> usize {
+        self.nq
+    }
+
+    /// A canonical snapshot of every stored edge, for oracle comparison.
+    /// Keys are `(parent, query vertex, child)` with `None` for `v_s*`.
+    pub fn snapshot(&self) -> BTreeMap<(Option<VertexId>, u32, VertexId), EdgeState> {
+        let mut snap = BTreeMap::new();
+        for (&v, &st) in &self.root {
+            snap.insert((None, self.root_qv.0, v), st);
+        }
+        for (u, adj) in self.out.iter().enumerate() {
+            for (&pv, list) in adj {
+                for &(cv, st) in &list.edges {
+                    snap.insert((Some(pv), u as u32, cv), st);
+                }
+            }
+        }
+        snap
+    }
+
+    /// Debug-only consistency check: counters and bitmaps agree with the
+    /// stored adjacency.
+    pub fn check_consistency(&self) {
+        let mut stored = self.root.len() as u64;
+        let mut expl = vec![0u64; self.nq];
+        expl[self.root_qv.index()] =
+            self.root.values().filter(|&&s| s == EdgeState::Explicit).count() as u64;
+        for (u, adj) in self.out.iter().enumerate() {
+            for (&pv, list) in adj {
+                stored += list.len() as u64;
+                let e = list.edges.iter().filter(|&&(_, s)| s == EdgeState::Explicit).count();
+                assert_eq!(e, list.expl_count(), "expl cache wrong at ({pv}, u{u})");
+                expl[u] += e as u64;
+                let bit_set = self.expl_out_bits(pv) & (1 << u) != 0;
+                assert_eq!(bit_set, e > 0, "bitmap wrong at ({pv}, u{u})");
+                // mirror entries exist
+                for &(cv, st) in &list.edges {
+                    assert_eq!(
+                        self.inc[u].get(&cv).and_then(|l| l.get(pv)),
+                        Some(st),
+                        "missing mirror for ({pv}, u{u}, {cv})"
+                    );
+                }
+            }
+        }
+        let inc_total: usize = self.inc.iter().flat_map(|m| m.values()).map(EdgeList::len).sum();
+        assert_eq!(inc_total as u64 + self.root.len() as u64, stored, "in/out totals differ");
+        assert_eq!(stored, self.stored_edges, "stored_edges counter wrong");
+        assert_eq!(expl, self.expl_count, "expl_count wrong");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn u(i: u32) -> QVertexId {
+        QVertexId(i)
+    }
+
+    #[test]
+    fn root_edges() {
+        let mut d = Dcg::new(3, u(0));
+        assert_eq!(d.root_state(v(1)), None);
+        assert_eq!(d.transit(None, u(0), v(1), Some(EdgeState::Implicit)), None);
+        assert_eq!(d.root_state(v(1)), Some(EdgeState::Implicit));
+        assert_eq!(d.in_count_total(v(1), u(0)), 1);
+        assert_eq!(d.in_expl_count(v(1), u(0)), 0);
+        assert_eq!(
+            d.transit(None, u(0), v(1), Some(EdgeState::Explicit)),
+            Some(EdgeState::Implicit)
+        );
+        assert_eq!(d.in_expl_count(v(1), u(0)), 1);
+        assert_eq!(d.expl_counts(), &[1, 0, 0]);
+        assert_eq!(d.transit(None, u(0), v(1), None), Some(EdgeState::Explicit));
+        assert_eq!(d.stored_edge_count(), 0);
+        d.check_consistency();
+    }
+
+    #[test]
+    fn non_root_edges_and_bitmaps() {
+        let mut d = Dcg::new(3, u(0));
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        d.transit(Some(v(0)), u(1), v(2), Some(EdgeState::Implicit));
+        assert_eq!(d.state(v(0), u(1), v(1)), Some(EdgeState::Implicit));
+        assert_eq!(d.in_count_total(v(1), u(1)), 1);
+        assert_eq!(d.out_expl_count(v(0), u(1)), 0);
+        assert_eq!(d.expl_out_bits(v(0)), 0);
+        d.check_consistency();
+
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Explicit));
+        assert_eq!(d.out_expl_count(v(0), u(1)), 1);
+        assert_eq!(d.expl_out_bits(v(0)), 1 << 1);
+        assert_eq!(d.in_expl_count(v(1), u(1)), 1);
+        assert_eq!(d.stored_edge_count(), 2);
+        d.check_consistency();
+
+        // Downgrade clears the bitmap bit again.
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        assert_eq!(d.expl_out_bits(v(0)), 0);
+        d.check_consistency();
+
+        d.transit(Some(v(0)), u(1), v(1), None);
+        d.transit(Some(v(0)), u(1), v(2), None);
+        assert_eq!(d.stored_edge_count(), 0);
+        assert_eq!(d.in_count_total(v(1), u(1)), 0);
+        d.check_consistency();
+    }
+
+    #[test]
+    fn in_out_edge_views_agree() {
+        let mut d = Dcg::new(4, u(0));
+        d.transit(Some(v(0)), u(2), v(5), Some(EdgeState::Explicit));
+        d.transit(Some(v(1)), u(2), v(5), Some(EdgeState::Implicit));
+        let ins = d.in_edges(v(5), u(2));
+        assert_eq!(ins.len(), 2);
+        assert!(ins.contains(&(v(0), EdgeState::Explicit)));
+        assert!(ins.contains(&(v(1), EdgeState::Implicit)));
+        assert_eq!(d.out_edges(v(0), u(2)), vec![(v(5), EdgeState::Explicit)]);
+        let mut seen = Vec::new();
+        d.for_each_expl_out(v(0), u(2), &mut |w| {
+            seen.push(w);
+            true
+        });
+        assert_eq!(seen, vec![v(5)]);
+    }
+
+    #[test]
+    fn snapshot_is_canonical() {
+        let mut d = Dcg::new(2, u(0));
+        d.transit(None, u(0), v(0), Some(EdgeState::Explicit));
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&(None, 0, v(0))], EdgeState::Explicit);
+        assert_eq!(snap[&(Some(v(0)), 1, v(1))], EdgeState::Implicit);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_edges() {
+        let mut d = Dcg::new(2, u(0));
+        assert_eq!(d.resident_bytes(), 0);
+        d.transit(None, u(0), v(0), Some(EdgeState::Implicit));
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        assert_eq!(d.resident_bytes(), 16 + 8);
+    }
+
+    #[test]
+    fn early_exit_in_expl_iteration() {
+        let mut d = Dcg::new(2, u(0));
+        for i in 0..5 {
+            d.transit(Some(v(0)), u(1), v(10 + i), Some(EdgeState::Explicit));
+        }
+        let mut n = 0;
+        d.for_each_expl_out(v(0), u(1), &mut |_| {
+            n += 1;
+            n < 2
+        });
+        assert_eq!(n, 2);
+    }
+}

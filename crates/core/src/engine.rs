@@ -1,0 +1,373 @@
+//! The TurboFlux engine (§4, Algorithm 2).
+//!
+//! Construction transforms the query into a tree rooted at the starting
+//! query vertex, builds the initial DCG with `BuildDCG`, and derives a
+//! matching order from DCG statistics. Each update operation then runs
+//! `InsertEdgeAndEval` / `DeleteEdgeAndEval`, which maintain the DCG
+//! incrementally and stream positive / negative matches into the caller's
+//! sink.
+
+use tfx_graph::{DynamicGraph, GraphStats, LabelId, LabelSet, UpdateOp, VertexId};
+use tfx_query::{
+    choose_start_vertex, ContinuousMatcher, EdgeId, MatchRecord, Positiveness, QVertexId,
+    QueryGraph, QueryTree,
+};
+
+use crate::config::TurboFluxConfig;
+use crate::dcg::{Dcg, EdgeState};
+use crate::tree_nav::for_each_child_candidate;
+
+/// How many search steps between wall-clock deadline checks.
+const DEADLINE_CHECK_INTERVAL: u32 = 4096;
+
+/// A continuous subgraph matching engine maintaining a data-centric graph.
+pub struct TurboFlux {
+    pub(crate) g: DynamicGraph,
+    pub(crate) q: QueryGraph,
+    pub(crate) tree: QueryTree,
+    pub(crate) cfg: TurboFluxConfig,
+    pub(crate) dcg: Dcg,
+    /// Matching order over all query vertices, parents before children.
+    pub(crate) mo: Vec<QVertexId>,
+    /// Bit `c` set in `child_mask[u]` iff `c ∈ Children(u)`.
+    pub(crate) child_mask: Vec<u64>,
+    /// Non-tree query edges incident to each query vertex.
+    pub(crate) non_tree_incident: Vec<Vec<EdgeId>>,
+    /// Explicit-count snapshot taken when the matching order was computed.
+    pub(crate) order_snapshot: Vec<u64>,
+    /// Scratch mapping reused across updates.
+    pub(crate) scratch_m: Vec<Option<VertexId>>,
+    /// Scratch match record reused across reports.
+    pub(crate) scratch_rec: MatchRecord,
+    /// Optional wall-clock deadline (benchmark timeouts); checked
+    /// periodically inside the search.
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// Countdown until the next deadline check.
+    pub(crate) deadline_tick: std::cell::Cell<u32>,
+    /// Latched once the deadline passed; the engine stops enumerating.
+    pub(crate) deadline_hit: std::cell::Cell<bool>,
+}
+
+impl TurboFlux {
+    /// Registers `q` against the initial data graph `g0` and builds the
+    /// initial DCG (Algorithm 2, lines 1–6).
+    ///
+    /// Panics if `q` is empty, disconnected, or has more than 64 vertices.
+    pub fn new(q: QueryGraph, g0: DynamicGraph, cfg: TurboFluxConfig) -> Self {
+        assert!(q.edge_count() > 0, "query must have at least one edge");
+        assert!(q.is_connected(), "query must be connected");
+        let stats = GraphStats::new(&g0);
+        let us = choose_start_vertex(&q, &stats);
+        let tree = QueryTree::build(&q, us, &stats);
+        let nq = q.vertex_count();
+
+        let mut child_mask = vec![0u64; nq];
+        for u in q.vertices() {
+            for &c in tree.children(u) {
+                child_mask[u.index()] |= 1 << c.0;
+            }
+        }
+        let mut non_tree_incident = vec![Vec::new(); nq];
+        for &e in tree.non_tree_edges() {
+            let qe = q.edge(e);
+            non_tree_incident[qe.src.index()].push(e);
+            if qe.dst != qe.src {
+                non_tree_incident[qe.dst.index()].push(e);
+            }
+        }
+
+        let mut engine = TurboFlux {
+            dcg: Dcg::new(nq, us),
+            mo: Vec::new(),
+            child_mask,
+            non_tree_incident,
+            order_snapshot: Vec::new(),
+            scratch_m: vec![None; nq],
+            scratch_rec: MatchRecord::default(),
+            deadline: None,
+            deadline_tick: std::cell::Cell::new(DEADLINE_CHECK_INTERVAL),
+            deadline_hit: std::cell::Cell::new(false),
+            g: g0,
+            q,
+            tree,
+            cfg,
+        };
+        // Build the initial DCG: a hypothetical start-edge insertion for
+        // every matching data vertex (Algorithm 2, lines 4–5).
+        for v in engine.g.vertices().collect::<Vec<_>>() {
+            if engine.q.labels(us).is_subset_of(engine.g.labels(v)) {
+                engine.build_dcg(None, us, v);
+            }
+        }
+        engine.recompute_matching_order();
+        engine
+    }
+
+    /// The data graph as maintained by the engine.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    /// The registered query.
+    pub fn query(&self) -> &QueryGraph {
+        &self.q
+    }
+
+    /// The query tree `q'`.
+    pub fn query_tree(&self) -> &QueryTree {
+        &self.tree
+    }
+
+    /// The maintained DCG.
+    pub fn dcg(&self) -> &Dcg {
+        &self.dcg
+    }
+
+    /// The current matching order.
+    pub fn matching_order(&self) -> &[QVertexId] {
+        &self.mo
+    }
+
+    /// Sets (or clears) a wall-clock deadline. Once it passes, the engine
+    /// stops enumerating matches and [`ContinuousMatcher::timed_out`]
+    /// latches true; results are incomplete from then on. Used by the
+    /// benchmark harness to bound single explosive updates.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+        self.deadline_tick.set(DEADLINE_CHECK_INTERVAL);
+        self.deadline_hit.set(false);
+    }
+
+    /// Cheap periodic deadline probe (called from the search hot loop).
+    #[inline]
+    pub(crate) fn deadline_exceeded(&self) -> bool {
+        if self.deadline_hit.get() {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let tick = self.deadline_tick.get();
+        if tick > 0 {
+            self.deadline_tick.set(tick - 1);
+            return false;
+        }
+        self.deadline_tick.set(DEADLINE_CHECK_INTERVAL);
+        if std::time::Instant::now() >= deadline {
+            self.deadline_hit.set(true);
+            return true;
+        }
+        false
+    }
+
+    /// `MatchAllChildren` (Algorithm 4), O(1) via the explicit-out bitmap.
+    #[inline]
+    pub(crate) fn match_all_children(&self, v: VertexId, u: QVertexId) -> bool {
+        let mask = self.child_mask[u.index()];
+        self.dcg.expl_out_bits(v) & mask == mask
+    }
+
+    /// `BuildDCG` (Algorithm 3): depth-first construction of the DCG below
+    /// the edge `(parent, u, cv)`, applying Transitions 1 and 2.
+    pub(crate) fn build_dcg(&mut self, parent: Option<VertexId>, u: QVertexId, cv: VertexId) {
+        // Case 1/2 of Transition 1.
+        let prev = self.dcg.transit(parent, u, cv, Some(EdgeState::Implicit));
+        debug_assert!(prev.is_none(), "build_dcg must start from a NULL edge");
+        // Check-and-avoid: recurse only if this is the first incoming edge
+        // of cv labeled u — otherwise the subtrees are already built.
+        if self.dcg.in_count_total(cv, u) == 1 {
+            for uc in self.tree.children(u).to_vec() {
+                let mut kids = Vec::new();
+                for_each_child_candidate(&self.g, &self.q, &self.tree, uc, cv, &mut |w| {
+                    kids.push(w);
+                });
+                kids.sort_unstable();
+                kids.dedup();
+                for w in kids {
+                    self.build_dcg(Some(cv), uc, w);
+                }
+            }
+        }
+        // Case 1/2 of Transition 2.
+        if self.match_all_children(cv, u) {
+            self.dcg.transit(parent, u, cv, Some(EdgeState::Explicit));
+        }
+    }
+
+    /// `ClearDCG` (Algorithm 10): removes the edge `(parent, u, cv)` and
+    /// cascades Transitions 3/5 into the subtree when `cv` loses its last
+    /// incoming edge labeled `u`.
+    pub(crate) fn clear_dcg(&mut self, parent: Option<VertexId>, u: QVertexId, cv: VertexId) {
+        let old = self.dcg.transit(parent, u, cv, None);
+        debug_assert!(old.is_some(), "clear_dcg on a NULL edge");
+        if self.dcg.in_count_total(cv, u) == 0 {
+            for uc in self.tree.children(u).to_vec() {
+                for (w, _) in self.dcg.out_edges(cv, uc) {
+                    self.clear_dcg(Some(cv), uc, w);
+                }
+            }
+        }
+    }
+
+    /// Reports all matches of the initial data graph (Algorithm 2, lines
+    /// 7–11).
+    pub fn report_initial(&mut self, sink: &mut dyn FnMut(&MatchRecord)) {
+        let us = self.tree.root();
+        let starts: Vec<VertexId> = self
+            .g
+            .vertices()
+            .filter(|&v| self.dcg.root_state(v) == Some(EdgeState::Explicit))
+            .collect();
+        let ctx = crate::search::SearchCtx::initial();
+        let mut m = std::mem::take(&mut self.scratch_m);
+        let mut rec = std::mem::take(&mut self.scratch_rec);
+        for vs in starts {
+            m[us.index()] = Some(vs);
+            self.subgraph_search(0, &ctx, &mut m, &mut rec, &mut |_p, r| sink(r));
+            m[us.index()] = None;
+        }
+        self.scratch_m = m;
+        self.scratch_rec = rec;
+    }
+
+    /// Applies one update operation, reporting positive / negative matches
+    /// (Algorithm 2, lines 12–20).
+    pub fn apply_op(
+        &mut self,
+        op: &UpdateOp,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        match op {
+            UpdateOp::AddVertex { id, .. } => {
+                let before = self.g.vertex_count() as u32;
+                if self.g.apply(op) {
+                    for i in before..self.g.vertex_count() as u32 {
+                        self.register_start_candidate(VertexId(i));
+                    }
+                }
+                let _ = id;
+            }
+            UpdateOp::InsertEdge { src, label, dst } => {
+                self.ensure_endpoints(*src, *dst);
+                if self.g.insert_edge(*src, *label, *dst) {
+                    self.insert_edge_and_eval(*src, *label, *dst, sink);
+                    self.maybe_adjust_order();
+                }
+            }
+            UpdateOp::DeleteEdge { src, label, dst } => {
+                if self.g.has_edge(*src, *label, *dst) {
+                    self.delete_edge_and_eval(*src, *label, *dst, sink);
+                    self.g.delete_edge(*src, *label, *dst);
+                    self.maybe_adjust_order();
+                }
+            }
+        }
+    }
+
+    /// Streams normally announce vertices via `AddVertex`; tolerate
+    /// label-less stragglers by creating empty-labeled vertices.
+    fn ensure_endpoints(&mut self, src: VertexId, dst: VertexId) {
+        let hi = src.0.max(dst.0);
+        let before = self.g.vertex_count() as u32;
+        if hi >= before {
+            self.g.ensure_vertex(VertexId(hi), LabelSet::empty());
+            for i in before..=hi {
+                self.register_start_candidate(VertexId(i));
+            }
+        }
+    }
+
+    /// A freshly created vertex matching `u_s` gets an implicit start edge
+    /// (it cannot be explicit: the root of a non-trivial query has
+    /// children, and a new vertex has no edges).
+    fn register_start_candidate(&mut self, id: VertexId) {
+        let us = self.tree.root();
+        if self.q.labels(us).is_subset_of(self.g.labels(id)) && self.dcg.root_state(id).is_none()
+        {
+            self.dcg.transit(None, us, id, Some(EdgeState::Implicit));
+        }
+    }
+
+    /// Total order over query edges used for duplicate-free reporting and
+    /// invocation sequencing: tree edges rank by the depth of their child
+    /// endpoint (shallow first — a deep edge's path condition can only be
+    /// created by builds of shallower edges), ties by id; all non-tree
+    /// edges rank above all tree edges.
+    #[inline]
+    pub(crate) fn edge_order_key(&self, e: EdgeId) -> u32 {
+        if self.tree.is_tree_edge(e) {
+            let qe = self.q.edge(e);
+            let uc = if self.tree.parent_edge(qe.dst) == Some(e) { qe.dst } else { qe.src };
+            (self.tree.depth(uc) << 16) | e.0
+        } else {
+            (1 << 24) | e.0
+        }
+    }
+
+    /// Query edges matching the data edge `(src, label, dst)`, in
+    /// processing order (tree edges by ascending order key, then non-tree
+    /// edges by ascending id).
+    pub(crate) fn matching_query_edges(
+        &self,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+    ) -> (Vec<EdgeId>, Vec<EdgeId>) {
+        let mut tree_edges = Vec::new();
+        let mut non_tree = Vec::new();
+        for i in 0..self.q.edge_count() as u32 {
+            let e = EdgeId(i);
+            if self.q.edge_matches(&self.g, e, src, label, dst) {
+                if self.tree.is_tree_edge(e) {
+                    tree_edges.push(e);
+                } else {
+                    non_tree.push(e);
+                }
+            }
+        }
+        tree_edges.sort_by_key(|&e| self.edge_order_key(e));
+        (tree_edges, non_tree)
+    }
+
+    /// For a matching *tree* edge, the (tree-parent-side, child-side) data
+    /// vertices and the child query vertex.
+    pub(crate) fn orient_tree_edge(
+        &self,
+        e: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+    ) -> (QVertexId, VertexId, VertexId) {
+        let qe = self.q.edge(e);
+        // The child endpoint is the one whose parent edge is `e`.
+        let (uc, pv, cv) = if self.tree.parent_edge(qe.dst) == Some(e) {
+            (qe.dst, src, dst)
+        } else {
+            debug_assert_eq!(self.tree.parent_edge(qe.src), Some(e));
+            (qe.src, dst, src)
+        };
+        debug_assert_eq!(self.tree.child_is_target(uc), uc == qe.dst);
+        (uc, pv, cv)
+    }
+}
+
+impl ContinuousMatcher for TurboFlux {
+    fn initial_matches(&mut self, sink: &mut dyn FnMut(&MatchRecord)) {
+        self.report_initial(sink);
+    }
+
+    fn apply(&mut self, op: &UpdateOp, sink: &mut dyn FnMut(Positiveness, &MatchRecord)) {
+        self.apply_op(op, sink);
+    }
+
+    fn intermediate_result_bytes(&self) -> usize {
+        self.dcg.resident_bytes()
+    }
+
+    fn timed_out(&self) -> bool {
+        self.deadline_hit.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "TurboFlux"
+    }
+}

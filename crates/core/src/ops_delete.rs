@@ -1,0 +1,141 @@
+//! `DeleteEdgeAndEval` and `ClearUpwardsAndEval` (Algorithms 8 and 9).
+//!
+//! Deletion is evaluated *before* the edge leaves the data graph: negative
+//! matches are enumerated over the still-intact explicit DCG, and the
+//! downgrades (Transition 4) and removals (Transitions 3/5) are applied
+//! after the affected traversal — `ClearUpwardsAndEval` downgrades each
+//! climbed edge only after its recursion returns, and `ClearDCG` runs after
+//! the negatives of its triggering edge were reported.
+
+use tfx_graph::{LabelId, VertexId};
+use tfx_query::{MatchRecord, Positiveness, QVertexId};
+
+use crate::dcg::EdgeState;
+use crate::engine::TurboFlux;
+use crate::search::SearchCtx;
+
+impl TurboFlux {
+    /// Handles one edge deletion (the edge is still in the data graph).
+    ///
+    /// Tree-edge invocations run in ascending edge order; combined with the
+    /// "minimal triggering edge wins" rule every vanished solution is
+    /// reported exactly once, before the DCG region it needs is cleared.
+    pub(crate) fn delete_edge_and_eval(
+        &mut self,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        let (tree_edges, non_tree) = self.matching_query_edges(src, label, dst);
+        let mut m = std::mem::take(&mut self.scratch_m);
+        let mut rec = std::mem::take(&mut self.scratch_rec);
+        debug_assert!(m.iter().all(Option::is_none));
+
+        for e in tree_edges {
+            // Surviving parallel support: the mapping set does not change
+            // via this query edge and the DCG edge stays backed.
+            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+                continue;
+            }
+            let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
+            let up = self.tree.parent(uc).expect("tree edge child has a parent");
+            // Case 2 of Transition 0 — or an earlier tree-edge invocation
+            // of this same update already cascade-cleared the edge.
+            if self.dcg.in_count_total(pv, up) == 0
+                || self.dcg.state(pv, uc, cv).is_none()
+            {
+                continue;
+            }
+            if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
+                && self.match_all_children(pv, up)
+            {
+                let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
+                m[uc.index()] = Some(cv);
+                self.clear_upwards(up, pv, Some(uc), &ctx, &mut m, &mut rec, true, sink);
+                m[uc.index()] = None;
+            }
+            // Transitions 3/5 downward.
+            self.clear_dcg(Some(pv), uc, cv);
+        }
+
+        for e in non_tree {
+            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+                continue;
+            }
+            let qe = *self.q.edge(e);
+            if self.dcg.in_count_total(src, qe.src) == 0
+                || self.dcg.in_count_total(dst, qe.dst) == 0
+                || !self.match_all_children(src, qe.src)
+                || !self.match_all_children(dst, qe.dst)
+            {
+                continue;
+            }
+            let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
+            let looped = qe.src == qe.dst;
+            if !looped {
+                m[qe.dst.index()] = Some(dst);
+            }
+            self.clear_upwards(qe.src, src, None, &ctx, &mut m, &mut rec, false, sink);
+            if !looped {
+                m[qe.dst.index()] = None;
+            }
+        }
+        self.scratch_m = m;
+        self.scratch_rec = rec;
+    }
+
+    /// `ClearUpwardsAndEval`: climbs toward the start vertices along
+    /// *explicit* incoming DCG edges, reports negative matches at every
+    /// start vertex, and afterwards applies Case 1 of Transition 4 (E → I)
+    /// when `v` is about to lose its last explicit outgoing edge labeled
+    /// `expiring_child`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn clear_upwards(
+        &mut self,
+        u: QVertexId,
+        v: VertexId,
+        expiring_child: Option<QVertexId>,
+        ctx: &SearchCtx,
+        m: &mut Vec<Option<VertexId>>,
+        rec: &mut MatchRecord,
+        ft: bool,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        if let Some(w) = m[u.index()] {
+            if w != v {
+                debug_assert!(!ft);
+                return;
+            }
+        }
+        // Precondition for Transition 4: after this deletion `v` has no
+        // explicit outgoing edge labeled `expiring_child` left.
+        let precondition = ft
+            && expiring_child.is_some_and(|uc| self.dcg.out_expl_count(v, uc) == 1);
+        let prev = m[u.index()];
+        m[u.index()] = Some(v);
+        let us = self.tree.root();
+        if u == us {
+            if self.dcg.root_state(v) == Some(EdgeState::Explicit) {
+                self.subgraph_search(0, ctx, m, rec, sink);
+                if precondition {
+                    self.dcg.transit(None, u, v, Some(EdgeState::Implicit));
+                }
+            }
+        } else {
+            let up = self.tree.parent(u).expect("non-root");
+            for (vp, st) in self.dcg.in_edges(v, u) {
+                if st != EdgeState::Explicit {
+                    continue;
+                }
+                if self.match_all_children(vp, up) {
+                    self.clear_upwards(up, vp, Some(u), ctx, m, rec, precondition, sink);
+                }
+                if precondition {
+                    self.dcg.transit(Some(vp), u, v, Some(EdgeState::Implicit));
+                }
+            }
+        }
+        m[u.index()] = prev;
+    }
+}

@@ -1,0 +1,148 @@
+//! `InsertEdgeAndEval` and `BuildUpwardsAndEval` (Algorithms 5 and 6).
+
+use tfx_graph::{LabelId, VertexId};
+use tfx_query::{MatchRecord, Positiveness, QVertexId};
+
+use crate::dcg::EdgeState;
+use crate::engine::TurboFlux;
+use crate::search::SearchCtx;
+
+impl TurboFlux {
+    /// Handles one edge insertion (the edge is already in the data graph).
+    ///
+    /// Tree-edge invocations run first in ascending edge order so the DCG
+    /// is fully maintained before non-tree invocations enumerate it; paired
+    /// with the "maximal triggering edge wins" rule this reports every new
+    /// solution exactly once.
+    pub(crate) fn insert_edge_and_eval(
+        &mut self,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        let (tree_edges, non_tree) = self.matching_query_edges(src, label, dst);
+        let mut m = std::mem::take(&mut self.scratch_m);
+        let mut rec = std::mem::take(&mut self.scratch_rec);
+        debug_assert!(m.iter().all(Option::is_none));
+
+        for e in tree_edges {
+            // Pre-existing parallel support means the vertex-mapping set is
+            // unchanged via this query edge (Transition 0 analogue for
+            // multigraphs).
+            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+                continue;
+            }
+            let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
+            let up = self.tree.parent(uc).expect("tree edge child has a parent");
+            // Case 2 of Transition 0: no path from a start vertex to pv.
+            if self.dcg.in_count_total(pv, up) == 0 {
+                continue;
+            }
+            // An earlier tree-edge invocation of this same update may have
+            // already built this DCG edge (the inserted edge can match
+            // several tree edges whose builds overlap).
+            if self.dcg.state(pv, uc, cv).is_none() {
+                self.build_dcg(Some(pv), uc, cv);
+            }
+            if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
+                && self.match_all_children(pv, up)
+            {
+                let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
+                m[uc.index()] = Some(cv);
+                self.build_upwards(up, pv, &ctx, &mut m, &mut rec, true, sink);
+                m[uc.index()] = None;
+            }
+        }
+
+        for e in non_tree {
+            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+                continue;
+            }
+            let qe = *self.q.edge(e);
+            // m(qe.src) = src, m(qe.dst) = dst; both endpoints need the
+            // path condition and fully matched subtrees.
+            if self.dcg.in_count_total(src, qe.src) == 0
+                || self.dcg.in_count_total(dst, qe.dst) == 0
+                || !self.match_all_children(src, qe.src)
+                || !self.match_all_children(dst, qe.dst)
+            {
+                continue;
+            }
+            let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
+            let looped = qe.src == qe.dst;
+            if !looped {
+                m[qe.dst.index()] = Some(dst);
+            }
+            // Traverse upward from qe.src without modifying the DCG: a
+            // non-tree edge never changes intermediate results.
+            self.build_upwards(qe.src, src, &ctx, &mut m, &mut rec, false, sink);
+            if !looped {
+                m[qe.dst.index()] = None;
+            }
+        }
+        self.scratch_m = m;
+        self.scratch_rec = rec;
+    }
+
+    /// `BuildUpwardsAndEval`: climbs toward the start vertices along stored
+    /// incoming DCG edges, applying Case 2 of Transition 2 when `ft` is
+    /// set, and runs `SubgraphSearch` at every start vertex reached.
+    ///
+    /// Precondition (established by every caller): all children of `u` have
+    /// explicit outgoing edges from `v`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_upwards(
+        &mut self,
+        u: QVertexId,
+        v: VertexId,
+        ctx: &SearchCtx,
+        m: &mut Vec<Option<VertexId>>,
+        rec: &mut MatchRecord,
+        ft: bool,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        debug_assert!(self.match_all_children(v, u));
+        // A non-tree invocation pre-binds the other endpoint of the
+        // triggering edge; if the climb reaches that query vertex with a
+        // different data vertex the two constraints contradict and no
+        // solution exists along this path. (Transitions are never needed
+        // here: the contradiction can only arise with `ft == false`.)
+        if let Some(w) = m[u.index()] {
+            if w != v {
+                debug_assert!(!ft);
+                return;
+            }
+        }
+        let prev = m[u.index()];
+        m[u.index()] = Some(v);
+        let us = self.tree.root();
+        if u == us {
+            // The single incoming edge is the artificial start edge.
+            match self.dcg.root_state(v) {
+                Some(EdgeState::Implicit) if ft => {
+                    self.dcg.transit(None, u, v, Some(EdgeState::Explicit));
+                    self.subgraph_search(0, ctx, m, rec, sink);
+                }
+                Some(EdgeState::Explicit) => {
+                    self.subgraph_search(0, ctx, m, rec, sink);
+                }
+                _ => {}
+            }
+        } else {
+            let up = self.tree.parent(u).expect("non-root");
+            for (vp, st) in self.dcg.in_edges(v, u) {
+                if st == EdgeState::Implicit {
+                    if !ft {
+                        continue; // without transitions only explicit paths matter
+                    }
+                    self.dcg.transit(Some(vp), u, v, Some(EdgeState::Explicit));
+                }
+                if self.match_all_children(vp, up) {
+                    self.build_upwards(up, vp, ctx, m, rec, ft, sink);
+                }
+            }
+        }
+        m[u.index()] = prev;
+    }
+}

@@ -1,0 +1,82 @@
+//! `DetermineMatchingOrder` and `AdjustMatchingOrder` (§4.1).
+//!
+//! Given the DCG, the number of explicit data paths per query path can be
+//! estimated from the per-query-vertex explicit-edge counts. The paper's
+//! greedy strategy shrinks the query tree one leaf at a time, always
+//! removing the leaf whose subtree-expansion (branch factor) is largest, so
+//! the *reversed* removal sequence visits low-fan-out vertices early and
+//! minimizes `Σ c(T_i)`, the number of recursive calls. Removing leaves
+//! only guarantees the parent-before-child property the search requires.
+
+use tfx_query::QVertexId;
+
+use crate::engine::TurboFlux;
+
+impl TurboFlux {
+    /// Estimated branch factor of `u`: explicit edges labeled `u` per
+    /// explicit edge labeled `P(u)`.
+    fn branch_factor(&self, u: QVertexId) -> f64 {
+        let counts = self.dcg.expl_counts();
+        let own = counts[u.index()] as f64;
+        let parent = self.tree.parent(u).expect("called on non-root only");
+        let pc = counts[parent.index()].max(1) as f64;
+        own / pc
+    }
+
+    /// Recomputes the matching order from current DCG statistics and
+    /// snapshots the statistics for drift detection.
+    pub(crate) fn recompute_matching_order(&mut self) {
+        let n = self.q.vertex_count();
+        let root = self.tree.root();
+        let mut present = vec![true; n];
+        let mut removal: Vec<QVertexId> = Vec::with_capacity(n - 1);
+        for _ in 1..n {
+            // Leaves of the current (shrunk) tree, excluding the root.
+            let leaf = self
+                .q
+                .vertices()
+                .filter(|&u| u != root && present[u.index()])
+                .filter(|&u| {
+                    self.tree.children(u).iter().all(|c| !present[c.index()])
+                })
+                .max_by(|&a, &b| {
+                    self.branch_factor(a)
+                        .partial_cmp(&self.branch_factor(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("a rooted tree with >1 vertex has a non-root leaf");
+            present[leaf.index()] = false;
+            removal.push(leaf);
+        }
+        let mut mo = Vec::with_capacity(n);
+        mo.push(root);
+        mo.extend(removal.into_iter().rev());
+        debug_assert_eq!(mo.len(), n);
+        self.mo = mo;
+        self.order_snapshot = self.dcg.expl_counts().to_vec();
+    }
+
+    /// `AdjustMatchingOrder`: recomputes the order when any per-vertex
+    /// explicit count drifted beyond the configured factor since the last
+    /// computation.
+    pub(crate) fn maybe_adjust_order(&mut self) {
+        if !self.cfg.adjust_matching_order {
+            return;
+        }
+        let factor = self.cfg.order_drift_factor;
+        let floor = self.cfg.order_drift_floor;
+        let drifted = self
+            .dcg
+            .expl_counts()
+            .iter()
+            .zip(&self.order_snapshot)
+            .any(|(&now, &then)| {
+                let (hi, lo) = (now.max(then), now.min(then));
+                hi > floor && hi as f64 > lo as f64 * factor
+            });
+        if drifted {
+            self.recompute_matching_order();
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! `SubgraphSearch` and `IsJoinable` (Algorithm 7).
+//!
+//! The search enumerates complete solutions by walking *explicit* DCG edges
+//! in matching order, verifying non-tree query edges against the data graph
+//! as query vertices are bound. Vertices pre-bound by the upward traversal
+//! (or by a non-tree-edge invocation) are re-validated instead of
+//! enumerated.
+//!
+//! Duplicate-free reporting: under homomorphism the updated data edge can be
+//! the image of several query edges of one solution, so the same solution
+//! would be reported once per matching query edge. A total order over query
+//! edges (tree edges below non-tree edges, then by id — see
+//! `TurboFlux::edge_order_key`) makes exactly one invocation keep it: the
+//! *maximal* mapped query edge for an insertion, the *minimal* for a
+//! deletion. The paper states the check for non-tree edges inside
+//! `IsJoinable`; we apply the same rule to tree edges inside the search,
+//! which is required for correctness when the updated edge matches several
+//! tree edges.
+
+use tfx_graph::{LabelId, VertexId};
+use tfx_query::{EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId};
+
+use crate::dcg::EdgeState;
+use crate::engine::TurboFlux;
+use crate::tree_nav::data_pair;
+
+/// Per-invocation search context.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SearchCtx {
+    /// The triggering query edge `e_q`, `None` for initial-graph reporting.
+    pub eq: Option<EdgeId>,
+    /// The updated data edge.
+    pub updated: Option<(VertexId, LabelId, VertexId)>,
+    /// Positive for insertion, negative for deletion.
+    pub p: Positiveness,
+}
+
+impl SearchCtx {
+    /// Context for reporting the initial graph's matches.
+    pub fn initial() -> Self {
+        SearchCtx { eq: None, updated: None, p: Positiveness::Positive }
+    }
+
+    /// Context for an update-triggered invocation.
+    pub fn update(eq: EdgeId, src: VertexId, label: LabelId, dst: VertexId, p: Positiveness) -> Self {
+        SearchCtx { eq: Some(eq), updated: Some((src, label, dst)), p }
+    }
+}
+
+impl TurboFlux {
+    /// True iff mapping query edge `e` onto the data pair `(src, dst)`
+    /// violates the duplicate-prevention total order: the pair is the
+    /// updated data edge, `e` actually *uses* it (label match, no surviving
+    /// parallel support), and `e` outranks / underranks the triggering edge
+    /// `e_q` for an insertion / deletion respectively.
+    pub(crate) fn violates_order(
+        &self,
+        ctx: &SearchCtx,
+        e: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+    ) -> bool {
+        let (Some((usrc, ulbl, udst)), Some(eq)) = (ctx.updated, ctx.eq) else {
+            return false;
+        };
+        if e == eq || src != usrc || dst != udst {
+            return false;
+        }
+        let qe = self.q.edge(e);
+        if qe.label.is_some_and(|ql| ql != ulbl) {
+            return false;
+        }
+        // With parallel support beyond the updated edge, `e` does not
+        // depend on the update and imposes no ordering constraint.
+        if self.g.count_edges_matching(src, dst, qe.label) != 1 {
+            return false;
+        }
+        let (ke, kq) = (self.edge_order_key(e), self.edge_order_key(eq));
+        match ctx.p {
+            Positiveness::Positive => ke > kq,
+            Positiveness::Negative => ke < kq,
+        }
+    }
+
+    /// `IsJoinable`: checks injectivity (isomorphism only) and every
+    /// non-tree query edge between `u` and already-mapped query vertices,
+    /// including the order rule above.
+    pub(crate) fn is_joinable(
+        &self,
+        ctx: &SearchCtx,
+        u: QVertexId,
+        v: VertexId,
+        m: &[Option<VertexId>],
+    ) -> bool {
+        if self.cfg.semantics == MatchSemantics::Isomorphism {
+            for (i, mv) in m.iter().enumerate() {
+                if *mv == Some(v) && i != u.index() {
+                    return false;
+                }
+            }
+        }
+        for &e in &self.non_tree_incident[u.index()] {
+            let qe = self.q.edge(e);
+            let (src, dst) = if qe.src == u && qe.dst == u {
+                (v, v) // self-loop
+            } else if qe.src == u {
+                match m[qe.dst.index()] {
+                    Some(w) => (v, w),
+                    None => continue, // other endpoint not bound yet
+                }
+            } else {
+                match m[qe.src.index()] {
+                    Some(w) => (w, v),
+                    None => continue,
+                }
+            };
+            if !self.g.has_edge_matching(src, dst, qe.label) {
+                return false;
+            }
+            if self.violates_order(ctx, e, src, dst) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Validates the tree edge binding `u → v` (given `m(P(u)) = vp`):
+    /// explicit DCG state plus the duplicate-prevention order rule.
+    fn tree_binding_ok(
+        &self,
+        ctx: &SearchCtx,
+        u: QVertexId,
+        vp: VertexId,
+        v: VertexId,
+    ) -> bool {
+        if self.dcg.state(vp, u, v) != Some(EdgeState::Explicit) {
+            return false;
+        }
+        let e = self.tree.parent_edge(u).expect("non-root");
+        let (src, dst) = data_pair(&self.tree, u, vp, v);
+        !self.violates_order(ctx, e, src, dst)
+    }
+
+    /// `SubgraphSearch` (Algorithm 7). `m` must have the starting query
+    /// vertex bound; `rec` is a scratch record reused across reports.
+    /// Reports `(ctx.p, record)` for every complete solution.
+    pub(crate) fn subgraph_search(
+        &self,
+        depth: usize,
+        ctx: &SearchCtx,
+        m: &mut Vec<Option<VertexId>>,
+        rec: &mut MatchRecord,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        if self.deadline_exceeded() {
+            return;
+        }
+        if depth == self.mo.len() {
+            rec.fill_from_partial(m);
+            sink(ctx.p, rec);
+            return;
+        }
+        let u = self.mo[depth];
+        let us = self.tree.root();
+        if let Some(v) = m[u.index()] {
+            // Pre-bound vertex (upward traversal / non-tree invocation):
+            // re-validate instead of enumerating.
+            let ok = if u == us {
+                self.dcg.root_state(v) == Some(EdgeState::Explicit)
+            } else {
+                let vp = m[self.tree.parent(u).expect("non-root").index()]
+                    .expect("parent precedes child in matching order");
+                self.tree_binding_ok(ctx, u, vp, v)
+            };
+            if ok && self.is_joinable(ctx, u, v, m) {
+                self.subgraph_search(depth + 1, ctx, m, rec, sink);
+            }
+        } else {
+            debug_assert_ne!(u, us, "the starting vertex is always pre-bound");
+            let vp = m[self.tree.parent(u).expect("non-root").index()]
+                .expect("parent precedes child in matching order");
+            // The slice borrow only needs `&self`; enumeration never
+            // mutates the DCG, so no candidate buffer is required.
+            for &(v, st) in self.dcg.out_edge_slice(vp, u) {
+                if st != EdgeState::Explicit {
+                    continue;
+                }
+                // Explicit state is known; only the duplicate-prevention
+                // order rule remains to check for the tree binding.
+                let e = self.tree.parent_edge(u).expect("non-root");
+                let (src, dst) = data_pair(&self.tree, u, vp, v);
+                if self.violates_order(ctx, e, src, dst) {
+                    continue;
+                }
+                if !self.is_joinable(ctx, u, v, m) {
+                    continue;
+                }
+                m[u.index()] = Some(v);
+                self.subgraph_search(depth + 1, ctx, m, rec, sink);
+                m[u.index()] = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Engine correctness tests: the paper's running example (Figure 4),
+//! DCG-vs-reference equivalence, and randomized oracle cross-checks against
+//! a full-recompute matcher.
+
+use crate::config::TurboFluxConfig;
+use crate::dcg::EdgeState;
+use crate::engine::TurboFlux;
+use crate::spec::reference_dcg;
+use rustc_hash::FxHashSet;
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, UpdateOp, VertexId};
+use tfx_query::{ContinuousMatcher, MatchRecord, MatchSemantics, Positiveness, QueryGraph};
+
+fn l(i: u32) -> LabelId {
+    LabelId(i)
+}
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// A tiny deterministic xorshift generator for the randomized tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Figure 4 of the paper: query u0:A -> {u1:B, u2:C, u3:C}, u1 -> u4:E,
+/// u2 -> u5:D; initial data v0:A -> v2:C -> v6:D, v0 -> v3:C, v1:B -> v4:E.
+fn fig4() -> (DynamicGraph, QueryGraph) {
+    let mut g = DynamicGraph::new();
+    let v0 = g.add_vertex(LabelSet::single(l(0))); // A
+    let v1 = g.add_vertex(LabelSet::single(l(1))); // B
+    let v2 = g.add_vertex(LabelSet::single(l(2))); // C
+    let v3 = g.add_vertex(LabelSet::single(l(2))); // C
+    let v4 = g.add_vertex(LabelSet::single(l(4))); // E
+    let v6 = g.add_vertex(LabelSet::single(l(3))); // D
+    g.insert_edge(v0, l(9), v2);
+    g.insert_edge(v2, l(9), v6);
+    g.insert_edge(v0, l(9), v3);
+    g.insert_edge(v1, l(9), v4);
+    // Extra disconnected B->E and C->D pairs keep (u1,u4) and (u2,u5)
+    // unselective so the start vertex is u0, matching the paper's
+    // narration of Figure 4. They are unreachable from any start vertex
+    // and never enter the DCG.
+    for _ in 0..3 {
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        let e = g.add_vertex(LabelSet::single(l(4)));
+        g.insert_edge(b, l(9), e);
+        let c = g.add_vertex(LabelSet::single(l(2)));
+        let dd = g.add_vertex(LabelSet::single(l(3)));
+        g.insert_edge(c, l(9), dd);
+    }
+
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(l(0))); // A
+    let u1 = q.add_vertex(LabelSet::single(l(1))); // B
+    let u2 = q.add_vertex(LabelSet::single(l(2))); // C
+    let u3 = q.add_vertex(LabelSet::single(l(2))); // C
+    let u4 = q.add_vertex(LabelSet::single(l(4))); // E
+    let u5 = q.add_vertex(LabelSet::single(l(3))); // D
+    q.add_edge(u0, u1, Some(l(9)));
+    q.add_edge(u0, u2, Some(l(9)));
+    q.add_edge(u0, u3, Some(l(9)));
+    q.add_edge(u1, u4, Some(l(9)));
+    q.add_edge(u2, u5, Some(l(9)));
+    (g, q)
+}
+
+fn assert_dcg_matches_reference(engine: &TurboFlux) {
+    engine.dcg().check_consistency();
+    let got = engine.dcg().snapshot();
+    let want = reference_dcg(engine.graph(), engine.query(), engine.query_tree());
+    assert_eq!(got, want, "engine DCG diverged from the declarative reference");
+}
+
+#[test]
+fn fig4_initial_dcg_and_no_initial_matches() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    assert_dcg_matches_reference(&engine);
+    // v1 (B) is not reachable from a start vertex, so (v1, u4) must not be
+    // stored; root edge of v0 is implicit (u1 branch unmatched).
+    assert_eq!(engine.dcg().root_state(v(0)), Some(EdgeState::Implicit));
+    let mut initial = Vec::new();
+    engine.initial_matches(&mut |m| initial.push(m.clone()));
+    assert!(initial.is_empty(), "Figure 4's g0 has no complete match");
+}
+
+#[test]
+fn fig4_insertion_reports_the_positive_match() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let mut reports = Vec::new();
+    engine.apply(&UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(1) }, &mut |p, m| {
+        reports.push((p, m.clone()))
+    });
+    assert_dcg_matches_reference(&engine);
+    assert_eq!(engine.dcg().root_state(v(0)), Some(EdgeState::Explicit), "Fig. 4h");
+    // u3 is a leaf C and may map to either v2 or v3, so the insertion
+    // produces exactly two positive matches; u2 needs a D child and is
+    // pinned to v2.
+    assert_eq!(reports.len(), 2);
+    for (p, m) in &reports {
+        assert_eq!(*p, Positiveness::Positive);
+        assert_eq!(m.get(tfx_query::QVertexId(0)), v(0));
+        assert_eq!(m.get(tfx_query::QVertexId(1)), v(1));
+        assert_eq!(m.get(tfx_query::QVertexId(2)), v(2));
+        assert_eq!(m.get(tfx_query::QVertexId(4)), v(4));
+        assert_eq!(m.get(tfx_query::QVertexId(5)), v(5));
+    }
+}
+
+#[test]
+fn fig4_insert_then_delete_roundtrip() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let before = engine.dcg().snapshot();
+    let op_in = UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(1) };
+    let op_del = UpdateOp::DeleteEdge { src: v(0), label: l(9), dst: v(1) };
+    let mut pos = Vec::new();
+    engine.apply(&op_in, &mut |p, m| pos.push((p, m.clone())));
+    let mut neg = Vec::new();
+    engine.apply(&op_del, &mut |p, m| neg.push((p, m.clone())));
+    assert_dcg_matches_reference(&engine);
+    assert_eq!(engine.dcg().snapshot(), before, "DCG must return to its pre-insert state");
+    // Every positive must come back as the corresponding negative.
+    let pset: FxHashSet<MatchRecord> = pos.into_iter().map(|(_, m)| m).collect();
+    let nset: FxHashSet<MatchRecord> = neg
+        .into_iter()
+        .map(|(p, m)| {
+            assert_eq!(p, Positiveness::Negative);
+            m
+        })
+        .collect();
+    assert_eq!(pset, nset);
+}
+
+/// Fig. 4's inserted edge yields matches with u3 free over both C vertices
+/// that satisfy u3's (empty) subtree: v2 and v3.
+#[test]
+fn fig4_positive_match_count_is_exact() {
+    let (mut g, q) = fig4();
+    // Oracle: count matches after insertion.
+    g.insert_edge(v(0), l(9), v(1));
+    let after = tfx_match::count_matches(&g, &q, MatchSemantics::Homomorphism);
+    g.delete_edge(v(0), l(9), v(1));
+    let before = tfx_match::count_matches(&g, &q, MatchSemantics::Homomorphism);
+
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let mut n = 0u64;
+    engine.apply(&UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| n += 1);
+    assert_eq!(n, after - before);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized oracle cross-checks.
+// ---------------------------------------------------------------------------
+
+struct RandomCase {
+    g0: DynamicGraph,
+    q: QueryGraph,
+    ops: Vec<UpdateOp>,
+}
+
+/// Random small dynamic graph + random connected query (optionally cyclic).
+fn random_case(rng: &mut Rng, cyclic: bool) -> RandomCase {
+    let n_vlabels = 2 + rng.below(2); // 2..=3
+    let n_elabels = 1 + rng.below(2); // 1..=2
+    let n_vertices = 5 + rng.below(5); // 5..=9
+
+    let mut g0 = DynamicGraph::new();
+    for _ in 0..n_vertices {
+        // ~20% unlabeled vertices exercise wildcard matching.
+        let labels = if rng.below(5) == 0 {
+            LabelSet::empty()
+        } else {
+            LabelSet::single(l(rng.below(n_vlabels) as u32))
+        };
+        g0.add_vertex(labels);
+    }
+    let n_edges = 6 + rng.below(8);
+    for _ in 0..n_edges {
+        let s = v(rng.below(n_vertices) as u32);
+        let d = v(rng.below(n_vertices) as u32);
+        g0.insert_edge(s, l(10 + rng.below(n_elabels) as u32), d);
+    }
+
+    // Random connected query: spanning construction over 3..=5 vertices.
+    let nq = 3 + rng.below(3);
+    let mut q = QueryGraph::new();
+    for _ in 0..nq {
+        let labels = if rng.below(4) == 0 {
+            LabelSet::empty()
+        } else {
+            LabelSet::single(l(rng.below(n_vlabels) as u32))
+        };
+        q.add_vertex(labels);
+    }
+    for i in 1..nq as u32 {
+        let other = rng.below(i as usize) as u32;
+        let (s, d) = if rng.below(2) == 0 { (other, i) } else { (i, other) };
+        let label = if rng.below(5) == 0 { None } else { Some(l(10 + rng.below(n_elabels) as u32)) };
+        q.add_edge(tfx_query::QVertexId(s), tfx_query::QVertexId(d), label);
+    }
+    if cyclic {
+        // Add 1..=2 extra edges (may duplicate direction between pairs).
+        for _ in 0..(1 + rng.below(2)) {
+            let a = rng.below(nq) as u32;
+            let b = rng.below(nq) as u32;
+            let label =
+                if rng.below(5) == 0 { None } else { Some(l(10 + rng.below(n_elabels) as u32)) };
+            let (s, d) = (tfx_query::QVertexId(a), tfx_query::QVertexId(b));
+            if !q.edges().iter().any(|e| e.src == s && e.dst == d && e.label == label) {
+                q.add_edge(s, d, label);
+            }
+        }
+    }
+
+    // Random op stream: inserts, deletes, occasional new vertices.
+    let mut ops = Vec::new();
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g0.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let mut vcount = n_vertices as u32;
+    for _ in 0..40 {
+        let roll = rng.below(10);
+        if roll == 0 {
+            let labels = LabelSet::single(l(rng.below(n_vlabels) as u32));
+            ops.push(UpdateOp::AddVertex { id: v(vcount), labels });
+            vcount += 1;
+        } else if roll < 4 && !live.is_empty() {
+            let i = rng.below(live.len());
+            let (s, lb, d) = live.swap_remove(i);
+            ops.push(UpdateOp::DeleteEdge { src: s, label: lb, dst: d });
+        } else {
+            let s = v(rng.below(vcount as usize) as u32);
+            let d = v(rng.below(vcount as usize) as u32);
+            let lb = l(10 + rng.below(n_elabels) as u32);
+            if !live.contains(&(s, lb, d)) {
+                live.push((s, lb, d));
+                ops.push(UpdateOp::InsertEdge { src: s, label: lb, dst: d });
+            }
+        }
+    }
+    RandomCase { g0, q, ops }
+}
+
+fn run_oracle_case(case: &RandomCase, semantics: MatchSemantics, check_dcg: bool) {
+    let cfg = TurboFluxConfig::with_semantics(semantics);
+    let mut engine = TurboFlux::new(case.q.clone(), case.g0.clone(), cfg);
+    let mut shadow = case.g0.clone();
+
+    // Initial matches must equal the static matcher's result.
+    let mut initial: FxHashSet<MatchRecord> = FxHashSet::default();
+    engine.initial_matches(&mut |m| {
+        assert!(initial.insert(m.clone()), "duplicate initial match {m:?}");
+    });
+    assert_eq!(
+        initial,
+        tfx_match::match_set(&shadow, &case.q, semantics),
+        "initial matches diverge"
+    );
+
+    for (step, op) in case.ops.iter().enumerate() {
+        let before = tfx_match::match_set(&shadow, &case.q, semantics);
+        shadow.apply(op);
+        let after = tfx_match::match_set(&shadow, &case.q, semantics);
+        let want_pos: FxHashSet<_> = after.difference(&before).cloned().collect();
+        let want_neg: FxHashSet<_> = before.difference(&after).cloned().collect();
+
+        let mut got_pos: FxHashSet<MatchRecord> = FxHashSet::default();
+        let mut got_neg: FxHashSet<MatchRecord> = FxHashSet::default();
+        engine.apply(op, &mut |p, m| {
+            let fresh = match p {
+                Positiveness::Positive => got_pos.insert(m.clone()),
+                Positiveness::Negative => got_neg.insert(m.clone()),
+            };
+            assert!(fresh, "duplicate report at step {step}: {m:?} ({op:?})");
+        });
+        assert_eq!(got_pos, want_pos, "positives diverge at step {step} ({op:?})");
+        assert_eq!(got_neg, want_neg, "negatives diverge at step {step} ({op:?})");
+        if check_dcg {
+            assert_dcg_matches_reference(&engine);
+        }
+    }
+}
+
+#[test]
+fn randomized_tree_queries_match_oracle_homomorphism() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case_no in 0..60 {
+        let case = random_case(&mut rng, false);
+        let _ = case_no;
+        run_oracle_case(&case, MatchSemantics::Homomorphism, true);
+    }
+}
+
+#[test]
+fn randomized_cyclic_queries_match_oracle_homomorphism() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..60 {
+        let case = random_case(&mut rng, true);
+        run_oracle_case(&case, MatchSemantics::Homomorphism, true);
+    }
+}
+
+#[test]
+fn randomized_tree_queries_match_oracle_isomorphism() {
+    let mut rng = Rng::new(0xF00D);
+    for _ in 0..40 {
+        let case = random_case(&mut rng, false);
+        run_oracle_case(&case, MatchSemantics::Isomorphism, false);
+    }
+}
+
+#[test]
+fn randomized_cyclic_queries_match_oracle_isomorphism() {
+    let mut rng = Rng::new(0xABCD);
+    for _ in 0..40 {
+        let case = random_case(&mut rng, true);
+        run_oracle_case(&case, MatchSemantics::Isomorphism, false);
+    }
+}
+
+#[test]
+fn matching_order_has_parents_before_children() {
+    let (g, q) = fig4();
+    let engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let mo = engine.matching_order();
+    assert_eq!(mo.len(), engine.query().vertex_count());
+    let pos: Vec<usize> = {
+        let mut p = vec![0; mo.len()];
+        for (i, u) in mo.iter().enumerate() {
+            p[u.index()] = i;
+        }
+        p
+    };
+    for u in engine.query().vertices() {
+        if let Some(par) = engine.query_tree().parent(u) {
+            assert!(pos[par.index()] < pos[u.index()], "{par:?} must precede {u:?}");
+        }
+    }
+}
+
+#[test]
+fn duplicate_edge_insert_is_a_no_op() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let op = UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(2) }; // already present
+    let mut n = 0;
+    engine.apply(&op, &mut |_, _| n += 1);
+    assert_eq!(n, 0);
+    assert_dcg_matches_reference(&engine);
+}
+
+#[test]
+fn delete_of_absent_edge_is_a_no_op() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let op = UpdateOp::DeleteEdge { src: v(0), label: l(9), dst: v(4) };
+    let mut n = 0;
+    engine.apply(&op, &mut |_, _| n += 1);
+    assert_eq!(n, 0);
+    assert_dcg_matches_reference(&engine);
+}
+
+#[test]
+fn new_vertex_becomes_start_candidate() {
+    let (g, q) = fig4();
+    let nv = v(g.vertex_count() as u32);
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    engine.apply(
+        &UpdateOp::AddVertex { id: nv, labels: LabelSet::single(l(0)) },
+        &mut |_, _| panic!("vertex arrival cannot create matches"),
+    );
+    assert_eq!(engine.dcg().root_state(nv), Some(EdgeState::Implicit));
+    assert_dcg_matches_reference(&engine);
+}
+
+#[test]
+fn intermediate_bytes_grow_and_shrink() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let b0 = engine.intermediate_result_bytes();
+    assert!(b0 > 0);
+    engine.apply(&UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| {});
+    let b1 = engine.intermediate_result_bytes();
+    assert!(b1 > b0);
+    engine.apply(&UpdateOp::DeleteEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| {});
+    assert_eq!(engine.intermediate_result_bytes(), b0);
+}
+
+#[test]
+#[ignore]
+fn debug_cyclic_failure() {
+    let mut rng = Rng::new(0xBEEF);
+    for case_no in 0..60 {
+        let case = random_case(&mut rng, true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_oracle_case(&case, MatchSemantics::Homomorphism, true);
+        }));
+        if result.is_err() {
+            eprintln!("=== failing case {case_no} ===");
+            eprintln!("query vertices:");
+            for u in case.q.vertices() {
+                eprintln!("  {u:?}: {:?}", case.q.labels(u));
+            }
+            eprintln!("query edges:");
+            for (i, e) in case.q.edges().iter().enumerate() {
+                eprintln!("  e{i}: {:?} -> {:?} label {:?}", e.src, e.dst, e.label);
+            }
+            eprintln!("g0 vertices: {}", case.g0.vertex_count());
+            for v in case.g0.vertices() {
+                eprintln!("  {v:?}: {:?}", case.g0.labels(v));
+            }
+            let mut es: Vec<_> = case.g0.edges().collect();
+            es.sort();
+            eprintln!("g0 edges: {es:?}");
+            eprintln!("ops: {:?}", case.ops);
+            panic!("case {case_no} failed");
+        }
+    }
+}
+
+/// The matching order must react to DCG statistics: a branch that fans out
+/// widely in the data should be visited late.
+#[test]
+fn matching_order_visits_wide_branches_late() {
+    // Query: root A with two children B (narrow) and C (wide).
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(l(0)));
+    let u1 = q.add_vertex(LabelSet::single(l(1)));
+    let u2 = q.add_vertex(LabelSet::single(l(2)));
+    q.add_edge(u0, u1, Some(l(9)));
+    q.add_edge(u0, u2, Some(l(9)));
+
+    let mut g = DynamicGraph::new();
+    let a = g.add_vertex(LabelSet::single(l(0)));
+    let b = g.add_vertex(LabelSet::single(l(1)));
+    g.insert_edge(a, l(9), b);
+    for _ in 0..20 {
+        let c = g.add_vertex(LabelSet::single(l(2)));
+        g.insert_edge(a, l(9), c);
+    }
+    // Ensure u0 is the start vertex: one A vs many others.
+    let engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    let mo = engine.matching_order();
+    assert_eq!(mo[0], engine.query_tree().root());
+    if engine.query_tree().root() == tfx_query::QVertexId(0) {
+        // With 1 explicit B-edge and 20 explicit C-edges, C must come last.
+        assert_eq!(mo[2], tfx_query::QVertexId(2), "wide branch ordered last: {mo:?}");
+    }
+}
+
+/// AdjustMatchingOrder must leave reported matches untouched while the
+/// stream shifts the label statistics (order affects speed, never results).
+#[test]
+fn order_adjustment_never_changes_results() {
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(l(0)));
+    let u1 = q.add_vertex(LabelSet::single(l(1)));
+    let u2 = q.add_vertex(LabelSet::single(l(2)));
+    q.add_edge(u0, u1, Some(l(9)));
+    q.add_edge(u0, u2, Some(l(9)));
+
+    let mut g = DynamicGraph::new();
+    let a = g.add_vertex(LabelSet::single(l(0)));
+    for i in 0..40 {
+        g.add_vertex(LabelSet::single(l(1 + i % 2)));
+    }
+    let ops: Vec<UpdateOp> = (1..=40u32)
+        .map(|i| UpdateOp::InsertEdge { src: a, label: l(9), dst: v(i) })
+        .collect();
+
+    let adj = TurboFluxConfig { order_drift_floor: 1, ..TurboFluxConfig::default() };
+    let fixed = TurboFluxConfig { adjust_matching_order: false, ..TurboFluxConfig::default() };
+    let mut with_adjust = TurboFlux::new(q.clone(), g.clone(), adj);
+    let mut without = TurboFlux::new(q, g, fixed);
+    let initial_order = without.matching_order().to_vec();
+    let (mut n1, mut n2) = (0u64, 0u64);
+    for op in &ops {
+        with_adjust.apply(op, &mut |_, _| n1 += 1);
+        without.apply(op, &mut |_, _| n2 += 1);
+    }
+    assert_eq!(n1, n2, "order maintenance must not change results");
+    assert_eq!(without.matching_order(), &initial_order[..], "static order stays put");
+    assert_dcg_matches_reference(&with_adjust);
+    assert_dcg_matches_reference(&without);
+}
+
+/// The TurboFlux deadline latches and stops enumeration without corrupting
+/// the DCG.
+#[test]
+fn deadline_stops_enumeration_but_keeps_dcg_consistent() {
+    let (g, q) = fig4();
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+    engine.set_deadline(Some(std::time::Instant::now() - std::time::Duration::from_secs(1)));
+    // Force a deadline check cheaply by applying an op: the first search
+    // call probes the clock after the tick countdown; with an already-past
+    // deadline the engine may still report a few matches but must latch
+    // eventually and keep the DCG transition-closed.
+    engine.apply(&UpdateOp::InsertEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| {});
+    engine.dcg().check_consistency();
+    let want = crate::spec::reference_dcg(engine.graph(), engine.query(), engine.query_tree());
+    assert_eq!(engine.dcg().snapshot(), want, "DCG stays closed under deadline aborts");
+    // Clearing the deadline resumes normal operation.
+    engine.set_deadline(None);
+    let mut n = 0;
+    engine.apply(&UpdateOp::DeleteEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| n += 1);
+    assert_eq!(n, 2, "negatives reported once the deadline is lifted");
+}

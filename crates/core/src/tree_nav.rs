@@ -1,0 +1,178 @@
+//! Orientation-aware navigation between the query tree and the data graph.
+//!
+//! A query-tree edge from parent `P(u)` to child `u` corresponds to a query
+//! edge that may be directed either way ([`QueryTree::child_is_target`]).
+//! These helpers hide that: the DCG always thinks in terms of
+//! (tree-parent data vertex, child query vertex, child data vertex), while
+//! the data graph stores directed edges.
+
+use tfx_graph::{DynamicGraph, VertexId};
+use tfx_query::{QVertexId, QueryGraph, QueryTree};
+
+/// The directed data pair `(src, dst)` backing DCG edge `(pv, u, cv)`.
+#[inline]
+pub fn data_pair(tree: &QueryTree, u: QVertexId, pv: VertexId, cv: VertexId) -> (VertexId, VertexId) {
+    if tree.child_is_target(u) {
+        (pv, cv)
+    } else {
+        (cv, pv)
+    }
+}
+
+/// True iff some live data edge backs the DCG edge `(pv, u, cv)` (labels of
+/// both endpoints and of the edge itself all match).
+pub fn tree_edge_supported(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    pv: VertexId,
+    cv: VertexId,
+) -> bool {
+    let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
+    let qe = q.edge(e);
+    let (src, dst) = data_pair(tree, u, pv, cv);
+    if !q.labels(qe.src).is_subset_of(g.labels(src))
+        || !q.labels(qe.dst).is_subset_of(g.labels(dst))
+    {
+        return false;
+    }
+    g.has_edge_matching(src, dst, qe.label)
+}
+
+/// Calls `f` with every data vertex `cv` such that the DCG edge
+/// `(pv, u, cv)` is backed by a live data edge. May report a `cv` more than
+/// once if parallel data edges match (callers tolerate or dedup).
+pub fn for_each_child_candidate(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    pv: VertexId,
+    f: &mut dyn FnMut(VertexId),
+) {
+    let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
+    let qe = q.edge(e);
+    if tree.child_is_target(u) {
+        if !q.labels(qe.src).is_subset_of(g.labels(pv)) {
+            return;
+        }
+        for &(cv, l) in g.out_neighbors(pv) {
+            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.dst).is_subset_of(g.labels(cv)) {
+                f(cv);
+            }
+        }
+    } else {
+        if !q.labels(qe.dst).is_subset_of(g.labels(pv)) {
+            return;
+        }
+        for &(cv, l) in g.in_neighbors(pv) {
+            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.src).is_subset_of(g.labels(cv)) {
+                f(cv);
+            }
+        }
+    }
+}
+
+/// Calls `f` with every data vertex `pv` such that the DCG edge
+/// `(pv, u, cv)` is backed by a live data edge (the upward analogue of
+/// [`for_each_child_candidate`]).
+pub fn for_each_parent_candidate(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    cv: VertexId,
+    f: &mut dyn FnMut(VertexId),
+) {
+    let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
+    let qe = q.edge(e);
+    if tree.child_is_target(u) {
+        if !q.labels(qe.dst).is_subset_of(g.labels(cv)) {
+            return;
+        }
+        for &(pv, l) in g.in_neighbors(cv) {
+            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.src).is_subset_of(g.labels(pv)) {
+                f(pv);
+            }
+        }
+    } else {
+        if !q.labels(qe.src).is_subset_of(g.labels(cv)) {
+            return;
+        }
+        for &(pv, l) in g.out_neighbors(cv) {
+            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.dst).is_subset_of(g.labels(pv)) {
+                f(pv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::{GraphStats, LabelId, LabelSet};
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    /// Query u0:A -> u1:B and u2:C -> u0:A (u0 is the root, so u2's tree
+    /// edge runs against its direction).
+    fn setup() -> (DynamicGraph, QueryGraph, QueryTree) {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(l(0)));
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        let c = g.add_vertex(LabelSet::single(l(2)));
+        g.insert_edge(a, l(9), b);
+        g.insert_edge(c, l(9), a);
+
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(l(0)));
+        let u1 = q.add_vertex(LabelSet::single(l(1)));
+        let u2 = q.add_vertex(LabelSet::single(l(2)));
+        q.add_edge(u0, u1, Some(l(9)));
+        q.add_edge(u2, u0, Some(l(9)));
+        let tree = QueryTree::build(&q, u0, &GraphStats::new(&g));
+        (g, q, tree)
+    }
+
+    #[test]
+    fn forward_tree_edge() {
+        let (g, q, tree) = setup();
+        let u1 = QVertexId(1);
+        assert!(tree.child_is_target(u1));
+        assert!(tree_edge_supported(&g, &q, &tree, u1, VertexId(0), VertexId(1)));
+        assert!(!tree_edge_supported(&g, &q, &tree, u1, VertexId(1), VertexId(0)));
+        assert_eq!(data_pair(&tree, u1, VertexId(0), VertexId(1)), (VertexId(0), VertexId(1)));
+        let mut kids = Vec::new();
+        for_each_child_candidate(&g, &q, &tree, u1, VertexId(0), &mut |v| kids.push(v));
+        assert_eq!(kids, vec![VertexId(1)]);
+    }
+
+    #[test]
+    fn reversed_tree_edge() {
+        let (g, q, tree) = setup();
+        let u2 = QVertexId(2);
+        assert!(!tree.child_is_target(u2), "query edge is u2 -> u0");
+        // DCG edge (a, u2, c): parent side is a (matches u0), child c.
+        assert!(tree_edge_supported(&g, &q, &tree, u2, VertexId(0), VertexId(2)));
+        assert_eq!(data_pair(&tree, u2, VertexId(0), VertexId(2)), (VertexId(2), VertexId(0)));
+        let mut kids = Vec::new();
+        for_each_child_candidate(&g, &q, &tree, u2, VertexId(0), &mut |v| kids.push(v));
+        assert_eq!(kids, vec![VertexId(2)]);
+        let mut parents = Vec::new();
+        for_each_parent_candidate(&g, &q, &tree, u2, VertexId(2), &mut |v| parents.push(v));
+        assert_eq!(parents, vec![VertexId(0)]);
+    }
+
+    #[test]
+    fn label_mismatch_yields_nothing() {
+        let (g, q, tree) = setup();
+        let u1 = QVertexId(1);
+        let mut kids = Vec::new();
+        // pv = c (labeled C, not A): parent-side label check fails.
+        for_each_child_candidate(&g, &q, &tree, u1, VertexId(2), &mut |v| kids.push(v));
+        assert!(kids.is_empty());
+    }
+}

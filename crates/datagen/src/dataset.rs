@@ -1,0 +1,96 @@
+//! A generated dynamic-graph workload: initial graph + update stream.
+
+use tfx_graph::{DynamicGraph, LabelInterner, UpdateOp, UpdateStream, VertexId};
+
+use crate::rng::Pcg32;
+use crate::schema::Schema;
+
+/// A dataset instance: the initial graph `g0`, the update stream `Δg`, the
+/// label interner that names everything, and the schema it was drawn from.
+pub struct Dataset {
+    /// The initial data graph `g0`.
+    pub g0: DynamicGraph,
+    /// The update stream `Δg` (insertions; deletions can be appended with
+    /// [`Dataset::append_deletions`]).
+    pub stream: UpdateStream,
+    /// Interner for all vertex/edge labels used.
+    pub interner: LabelInterner,
+    /// The schema the dataset was generated from.
+    pub schema: Schema,
+    /// The vertex type index of every vertex (for query-aware tooling).
+    pub vertex_types: Vec<usize>,
+}
+
+impl Dataset {
+    /// The graph after replaying the whole stream (useful for selectivity
+    /// statistics).
+    pub fn final_graph(&self) -> DynamicGraph {
+        let mut g = self.g0.clone();
+        for op in &self.stream {
+            g.apply(op);
+        }
+        g
+    }
+
+    /// Scales the insertion stream to `rate` (a fraction of the full
+    /// stream's edge operations), as in the insertion-rate experiment
+    /// (Fig. 8).
+    pub fn stream_at_rate(&self, rate: f64) -> UpdateStream {
+        let edge_ops =
+            self.stream.ops().iter().filter(|o| !matches!(o, UpdateOp::AddVertex { .. })).count();
+        let keep = ((edge_ops as f64) * rate).round() as usize;
+        self.stream.truncate_edge_ops(keep)
+    }
+
+    /// Appends deletions of `rate × (#insertions)` randomly chosen inserted
+    /// edges to the stream (the deletion-rate experiment, Fig. 11; the
+    /// paper's deletion rate is #deletions / #insertions).
+    pub fn append_deletions(&mut self, rate: f64, seed: u64) {
+        let mut rng = Pcg32::with_stream(seed, 0xDE1E7E);
+        let inserted: Vec<(VertexId, tfx_graph::LabelId, VertexId)> = self
+            .stream
+            .ops()
+            .iter()
+            .filter_map(|o| match o {
+                UpdateOp::InsertEdge { src, label, dst } => Some((*src, *label, *dst)),
+                _ => None,
+            })
+            .collect();
+        let n_del = ((inserted.len() as f64) * rate).round() as usize;
+        let mut picked = inserted;
+        rng.shuffle(&mut picked);
+        picked.truncate(n_del);
+        let mut ops: Vec<UpdateOp> = self.stream.ops().to_vec();
+        for (src, label, dst) in picked {
+            ops.push(UpdateOp::DeleteEdge { src, label, dst });
+        }
+        self.stream = UpdateStream::from_ops(ops);
+    }
+}
+
+/// Splits a timestamp-ordered edge list into `g0` (first `1 - stream_frac`
+/// of the edges) and an insertion stream. All vertices are declared up
+/// front with their labels — vertex ids are dense and labels must be known
+/// to every engine before an incident edge streams in.
+pub(crate) fn split_into_dataset(
+    edges: Vec<(VertexId, tfx_graph::LabelId, VertexId)>,
+    vertex_labels: Vec<tfx_graph::LabelSet>,
+    vertex_types: Vec<usize>,
+    stream_frac: f64,
+    interner: LabelInterner,
+    schema: Schema,
+) -> Dataset {
+    let split = ((edges.len() as f64) * (1.0 - stream_frac)).round() as usize;
+    let mut g0 = DynamicGraph::new();
+    for labels in &vertex_labels {
+        g0.add_vertex(labels.clone());
+    }
+    for &(s, l, d) in &edges[..split] {
+        g0.insert_edge(s, l, d);
+    }
+    let ops = edges[split..]
+        .iter()
+        .map(|&(s, l, d)| UpdateOp::InsertEdge { src: s, label: l, dst: d })
+        .collect();
+    Dataset { g0, stream: UpdateStream::from_ops(ops), interner, schema, vertex_types }
+}

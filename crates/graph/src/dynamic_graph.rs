@@ -1,0 +1,331 @@
+//! The dynamic data graph: a directed, labeled multigraph under a stream of
+//! edge insertions and deletions.
+//!
+//! Invariants:
+//!
+//! * At most one edge per `(src, label, dst)` triple; duplicate inserts are
+//!   idempotent no-ops (returning `false`). Parallel edges between the same
+//!   vertex pair with *different* labels are allowed.
+//! * Adjacency is kept in both directions so the engines can traverse
+//!   upward (toward start vertices) as well as downward.
+//! * Vertices are never physically removed — the paper's update streams only
+//!   insert/delete edges — but new vertices can appear at any point.
+
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+use crate::stream::UpdateOp;
+use rustc_hash::FxHashSet;
+
+/// A fully-qualified edge: source, edge label, destination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EdgeRef {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Edge label.
+    pub label: LabelId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl EdgeRef {
+    /// Convenience constructor.
+    pub fn new(src: VertexId, label: LabelId, dst: VertexId) -> Self {
+        EdgeRef { src, label, dst }
+    }
+}
+
+/// An in-memory dynamic labeled multigraph.
+#[derive(Clone, Default)]
+pub struct DynamicGraph {
+    vertex_labels: Vec<LabelSet>,
+    out: Vec<Vec<(VertexId, LabelId)>>,
+    inc: Vec<Vec<(VertexId, LabelId)>>,
+    edges: FxHashSet<EdgeRef>,
+    edge_label_counts: Vec<usize>,
+}
+
+impl DynamicGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices ever created (ids are dense `0..n`).
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Creates a fresh vertex with the given label set and returns its id.
+    pub fn add_vertex(&mut self, labels: LabelSet) -> VertexId {
+        let id = VertexId(self.vertex_labels.len() as u32);
+        self.vertex_labels.push(labels);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Ensures vertex `v` exists; newly created vertices in the gap get empty
+    /// label sets, and `v` itself gets `labels` if it is new.
+    ///
+    /// Used when replaying streams whose vertex ids were assigned by a
+    /// generator.
+    pub fn ensure_vertex(&mut self, v: VertexId, labels: LabelSet) -> bool {
+        if v.index() < self.vertex_labels.len() {
+            return false;
+        }
+        while self.vertex_labels.len() < v.index() {
+            self.add_vertex(LabelSet::empty());
+        }
+        self.add_vertex(labels);
+        true
+    }
+
+    /// The label set of vertex `v`.
+    #[inline]
+    pub fn labels(&self, v: VertexId) -> &LabelSet {
+        &self.vertex_labels[v.index()]
+    }
+
+    /// True iff vertex id `v` has been created.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.vertex_labels.len()
+    }
+
+    /// Inserts an edge. Returns `false` (and changes nothing) if the exact
+    /// `(src, label, dst)` triple is already present.
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn insert_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        assert!(
+            self.contains_vertex(src) && self.contains_vertex(dst),
+            "insert_edge: endpoint does not exist ({src}, {dst})"
+        );
+        let e = EdgeRef::new(src, label, dst);
+        if !self.edges.insert(e) {
+            return false;
+        }
+        self.out[src.index()].push((dst, label));
+        self.inc[dst.index()].push((src, label));
+        if label.index() >= self.edge_label_counts.len() {
+            self.edge_label_counts.resize(label.index() + 1, 0);
+        }
+        self.edge_label_counts[label.index()] += 1;
+        true
+    }
+
+    /// Deletes an edge. Returns `false` if the triple was not present.
+    pub fn delete_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        let e = EdgeRef::new(src, label, dst);
+        if !self.edges.remove(&e) {
+            return false;
+        }
+        let out = &mut self.out[src.index()];
+        let pos = out
+            .iter()
+            .position(|&(v, l)| v == dst && l == label)
+            .expect("edge set and adjacency out of sync");
+        out.swap_remove(pos);
+        let inc = &mut self.inc[dst.index()];
+        let pos = inc
+            .iter()
+            .position(|&(v, l)| v == src && l == label)
+            .expect("edge set and adjacency out of sync");
+        inc.swap_remove(pos);
+        self.edge_label_counts[label.index()] -= 1;
+        true
+    }
+
+    /// True iff the exact `(src, label, dst)` triple is a live edge.
+    #[inline]
+    pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        self.edges.contains(&EdgeRef::new(src, label, dst))
+    }
+
+    /// True iff some live edge `src → dst` matches the (optional) query edge
+    /// label. `None` acts as a wildcard.
+    pub fn has_edge_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> bool {
+        match qlabel {
+            Some(l) => self.has_edge(src, l, dst),
+            None => self.out[src.index()].iter().any(|&(v, _)| v == dst),
+        }
+    }
+
+    /// Number of parallel `src → dst` edges matching the query label.
+    /// O(1) for a concrete label (at most one edge per triple), O(deg) for
+    /// a wildcard.
+    pub fn count_edges_matching(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        qlabel: Option<LabelId>,
+    ) -> usize {
+        match qlabel {
+            Some(l) => usize::from(self.has_edge(src, l, dst)),
+            None => self.out[src.index()].iter().filter(|&&(v, _)| v == dst).count(),
+        }
+    }
+
+    /// Out-neighbors of `v` as `(neighbor, edge label)` pairs.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[(VertexId, LabelId)] {
+        &self.out[v.index()]
+    }
+
+    /// In-neighbors of `v` as `(neighbor, edge label)` pairs.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[(VertexId, LabelId)] {
+        &self.inc[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inc[v.index()].len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_labels.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all live edges (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of live edges carrying `label`.
+    pub fn edge_label_count(&self, label: LabelId) -> usize {
+        self.edge_label_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Applies an update operation. Returns `true` if the graph changed.
+    pub fn apply(&mut self, op: &UpdateOp) -> bool {
+        match op {
+            UpdateOp::AddVertex { id, labels } => self.ensure_vertex(*id, labels.clone()),
+            UpdateOp::InsertEdge { src, label, dst } => self.insert_edge(*src, *label, *dst),
+            UpdateOp::DeleteEdge { src, label, dst } => self.delete_edge(*src, *label, *dst),
+        }
+    }
+}
+
+impl std::fmt::Debug for DynamicGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DynamicGraph {{ vertices: {}, edges: {} }}",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn labeled_graph(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for i in 0..n {
+            g.add_vertex(LabelSet::single(l(i as u32 % 3)));
+        }
+        g
+    }
+
+    #[test]
+    fn insert_and_query_edges() {
+        let mut g = labeled_graph(3);
+        assert!(g.insert_edge(VertexId(0), l(7), VertexId(1)));
+        assert!(!g.insert_edge(VertexId(0), l(7), VertexId(1)), "duplicate");
+        assert!(g.insert_edge(VertexId(0), l(8), VertexId(1)), "parallel other label");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(VertexId(0), l(7), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), l(7), VertexId(0)), "directed");
+        assert!(g.has_edge_matching(VertexId(0), VertexId(1), None));
+        assert!(g.has_edge_matching(VertexId(0), VertexId(1), Some(l(8))));
+        assert!(!g.has_edge_matching(VertexId(0), VertexId(1), Some(l(9))));
+        assert_eq!(g.count_edges_matching(VertexId(0), VertexId(1), None), 2);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.in_degree(VertexId(1)), 2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.edge_label_count(l(7)), 1);
+    }
+
+    #[test]
+    fn delete_edges() {
+        let mut g = labeled_graph(3);
+        g.insert_edge(VertexId(0), l(1), VertexId(1));
+        g.insert_edge(VertexId(0), l(1), VertexId(2));
+        assert!(g.delete_edge(VertexId(0), l(1), VertexId(1)));
+        assert!(!g.delete_edge(VertexId(0), l(1), VertexId(1)), "already gone");
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(VertexId(0), l(1), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), l(1), VertexId(2)));
+        assert_eq!(g.out_neighbors(VertexId(0)), &[(VertexId(2), l(1))]);
+        assert_eq!(g.in_neighbors(VertexId(1)), &[]);
+        assert_eq!(g.edge_label_count(l(1)), 1);
+    }
+
+    #[test]
+    fn ensure_vertex_fills_gaps() {
+        let mut g = DynamicGraph::new();
+        assert!(g.ensure_vertex(VertexId(3), LabelSet::single(l(5))));
+        assert_eq!(g.vertex_count(), 4);
+        assert!(g.labels(VertexId(0)).is_empty());
+        assert!(g.labels(VertexId(3)).contains(l(5)));
+        assert!(!g.ensure_vertex(VertexId(2), LabelSet::single(l(9))), "exists");
+        assert!(g.labels(VertexId(2)).is_empty(), "labels unchanged");
+    }
+
+    #[test]
+    fn apply_ops() {
+        let mut g = DynamicGraph::new();
+        assert!(g.apply(&UpdateOp::AddVertex { id: VertexId(0), labels: LabelSet::empty() }));
+        assert!(g.apply(&UpdateOp::AddVertex { id: VertexId(1), labels: LabelSet::empty() }));
+        assert!(g.apply(&UpdateOp::InsertEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
+        assert!(g.apply(&UpdateOp::DeleteEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
+        assert!(!g.apply(&UpdateOp::DeleteEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_sees_all_live_edges() {
+        let mut g = labeled_graph(4);
+        g.insert_edge(VertexId(0), l(0), VertexId(1));
+        g.insert_edge(VertexId(1), l(0), VertexId(2));
+        g.insert_edge(VertexId(2), l(0), VertexId(3));
+        g.delete_edge(VertexId(1), l(0), VertexId(2));
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort();
+        assert_eq!(
+            es,
+            vec![
+                EdgeRef::new(VertexId(0), l(0), VertexId(1)),
+                EdgeRef::new(VertexId(2), l(0), VertexId(3)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `tfx-graph` — the dynamic labeled graph substrate for the TurboFlux
+//! reproduction.
+//!
+//! A *dynamic graph* is an initial graph plus a stream of edge insertions and
+//! deletions (Definition 2 of the paper). This crate provides:
+//!
+//! * strongly typed identifiers ([`VertexId`], [`LabelId`]) and a string
+//!   [`labels::LabelInterner`],
+//! * [`LabelSet`] — a small sorted label set with subset tests, matching the
+//!   paper's `L(u) ⊆ L'(m(u))` semantics,
+//! * [`DynamicGraph`] — an in-memory directed multigraph with per-vertex
+//!   label sets, labeled edges, O(1) amortized insert, O(deg) delete, and
+//!   adjacency iteration in both directions,
+//! * [`UpdateOp`] / [`UpdateStream`] — the graph update stream,
+//! * [`stats::GraphStats`] — cardinality statistics used to pick the starting
+//!   query vertex and the query spanning tree.
+
+pub mod dynamic_graph;
+pub mod ids;
+pub mod labels;
+pub mod stats;
+pub mod stream;
+
+pub use dynamic_graph::{DynamicGraph, EdgeRef};
+pub use ids::{LabelId, VertexId};
+pub use labels::{LabelInterner, LabelSet};
+pub use stats::GraphStats;
+pub use stream::{UpdateOp, UpdateStream};

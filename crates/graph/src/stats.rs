@@ -1,0 +1,97 @@
+//! Cardinality statistics over a data graph.
+//!
+//! `ChooseStartQVertex` (§4.1) needs, for a query edge `(u, u')`, the number
+//! of data edges matching it, and for a query vertex `u` the number of data
+//! vertices matching it. Queries are registered once per run, so these are
+//! computed with exact single-pass scans at registration time rather than
+//! maintained incrementally.
+
+use crate::dynamic_graph::DynamicGraph;
+use crate::ids::LabelId;
+use crate::labels::LabelSet;
+
+/// Exact matching-cardinality statistics computed from a graph snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats<'g> {
+    graph: Option<&'g DynamicGraph>,
+}
+
+impl<'g> GraphStats<'g> {
+    /// Builds statistics over `graph`.
+    pub fn new(graph: &'g DynamicGraph) -> Self {
+        GraphStats { graph: Some(graph) }
+    }
+
+    fn g(&self) -> &'g DynamicGraph {
+        self.graph.expect("GraphStats::default has no graph")
+    }
+
+    /// Number of data vertices `v` with `labels ⊆ L(v)`.
+    pub fn matching_vertex_count(&self, labels: &LabelSet) -> usize {
+        let g = self.g();
+        g.vertices().filter(|&v| labels.is_subset_of(g.labels(v))).count()
+    }
+
+    /// Number of data edges matching a query edge
+    /// `(src_labels) -qlabel-> (dst_labels)`; `None` label is a wildcard.
+    pub fn matching_edge_count(
+        &self,
+        src_labels: &LabelSet,
+        qlabel: Option<LabelId>,
+        dst_labels: &LabelSet,
+    ) -> usize {
+        let g = self.g();
+        g.edges()
+            .filter(|e| {
+                qlabel.is_none_or(|ql| ql == e.label)
+                    && src_labels.is_subset_of(g.labels(e.src))
+                    && dst_labels.is_subset_of(g.labels(e.dst))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn setup() -> DynamicGraph {
+        // v0:A v1:A v2:B v3:(empty)
+        let mut g = DynamicGraph::new();
+        g.add_vertex(LabelSet::single(l(0)));
+        g.add_vertex(LabelSet::single(l(0)));
+        g.add_vertex(LabelSet::single(l(1)));
+        g.add_vertex(LabelSet::empty());
+        g.insert_edge(VertexId(0), l(10), VertexId(2)); // A -10-> B
+        g.insert_edge(VertexId(1), l(10), VertexId(2)); // A -10-> B
+        g.insert_edge(VertexId(1), l(11), VertexId(3)); // A -11-> ()
+        g
+    }
+
+    #[test]
+    fn vertex_counts() {
+        let g = setup();
+        let s = GraphStats::new(&g);
+        assert_eq!(s.matching_vertex_count(&LabelSet::single(l(0))), 2);
+        assert_eq!(s.matching_vertex_count(&LabelSet::single(l(1))), 1);
+        assert_eq!(s.matching_vertex_count(&LabelSet::empty()), 4, "wildcard matches all");
+        assert_eq!(s.matching_vertex_count(&LabelSet::single(l(9))), 0);
+    }
+
+    #[test]
+    fn edge_counts() {
+        let g = setup();
+        let s = GraphStats::new(&g);
+        let a = LabelSet::single(l(0));
+        let b = LabelSet::single(l(1));
+        assert_eq!(s.matching_edge_count(&a, Some(l(10)), &b), 2);
+        assert_eq!(s.matching_edge_count(&a, None, &b), 2, "wildcard edge label");
+        assert_eq!(s.matching_edge_count(&a, Some(l(11)), &LabelSet::empty()), 1);
+        assert_eq!(s.matching_edge_count(&b, Some(l(10)), &a), 0, "direction matters");
+    }
+}

@@ -1,0 +1,187 @@
+//! Graph update streams (Definition 2 of the paper).
+//!
+//! A stream is a sequence of operations `Δo_i`. The paper's operations are
+//! edge insertions and deletions; we additionally model explicit vertex
+//! arrival ([`UpdateOp::AddVertex`]) because a streamed edge can reference a
+//! vertex that did not exist in `g0`, and the engines need its labels before
+//! the edge arrives.
+
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// One update operation in a graph update stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UpdateOp {
+    /// A new vertex arrives with its label set. Idempotent.
+    AddVertex {
+        /// The new vertex id.
+        id: VertexId,
+        /// Its labels.
+        labels: LabelSet,
+    },
+    /// Edge insertion `(op, v, v')` with an edge label.
+    InsertEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Edge label.
+        label: LabelId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+    /// Edge deletion.
+    DeleteEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Edge label.
+        label: LabelId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+}
+
+impl UpdateOp {
+    /// True for [`UpdateOp::InsertEdge`].
+    pub fn is_insert(&self) -> bool {
+        matches!(self, UpdateOp::InsertEdge { .. })
+    }
+
+    /// True for [`UpdateOp::DeleteEdge`].
+    pub fn is_delete(&self) -> bool {
+        matches!(self, UpdateOp::DeleteEdge { .. })
+    }
+}
+
+/// An owned sequence of update operations.
+#[derive(Clone, Default, Debug)]
+pub struct UpdateStream {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an op vector.
+    pub fn from_ops(ops: Vec<UpdateOp>) -> Self {
+        UpdateStream { ops }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of edge insertions.
+    pub fn insert_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_insert()).count()
+    }
+
+    /// Number of edge deletions.
+    pub fn delete_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_delete()).count()
+    }
+
+    /// A stream containing only the first `n` *edge* operations (vertex
+    /// arrivals are kept when they precede a retained edge op).
+    ///
+    /// Used by the harness to vary the insertion rate (Fig. 8).
+    pub fn truncate_edge_ops(&self, n: usize) -> UpdateStream {
+        let mut out = Vec::new();
+        let mut pending_vertices = Vec::new();
+        let mut edges = 0usize;
+        for op in &self.ops {
+            match op {
+                UpdateOp::AddVertex { .. } => pending_vertices.push(op.clone()),
+                _ => {
+                    if edges == n {
+                        break;
+                    }
+                    edges += 1;
+                    out.append(&mut pending_vertices);
+                    out.push(op.clone());
+                }
+            }
+        }
+        UpdateStream::from_ops(out)
+    }
+}
+
+impl IntoIterator for UpdateStream {
+    type Item = UpdateOp;
+    type IntoIter = std::vec::IntoIter<UpdateOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateStream {
+    type Item = &'a UpdateOp;
+    type IntoIter = std::slice::Iter<'a, UpdateOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(s: u32, d: u32) -> UpdateOp {
+        UpdateOp::InsertEdge { src: VertexId(s), label: LabelId(0), dst: VertexId(d) }
+    }
+
+    fn addv(i: u32) -> UpdateOp {
+        UpdateOp::AddVertex { id: VertexId(i), labels: LabelSet::empty() }
+    }
+
+    #[test]
+    fn counts() {
+        let s = UpdateStream::from_ops(vec![
+            addv(0),
+            ins(0, 1),
+            UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(0), dst: VertexId(1) },
+            ins(0, 2),
+        ]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.insert_count(), 2);
+        assert_eq!(s.delete_count(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn truncate_keeps_preceding_vertex_arrivals() {
+        let s = UpdateStream::from_ops(vec![addv(0), ins(0, 1), addv(2), addv(3), ins(2, 3)]);
+        let t = s.truncate_edge_ops(1);
+        assert_eq!(t.ops(), &[addv(0), ins(0, 1)]);
+        let t2 = s.truncate_edge_ops(2);
+        assert_eq!(t2.len(), 5);
+        let t0 = s.truncate_edge_ops(0);
+        assert!(t0.is_empty());
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(ins(0, 1).is_insert());
+        assert!(!ins(0, 1).is_delete());
+        assert!(!addv(0).is_insert());
+    }
+}

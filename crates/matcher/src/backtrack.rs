@@ -1,0 +1,313 @@
+//! Backtracking enumeration of homomorphisms / isomorphisms.
+
+use rustc_hash::FxHashSet;
+use tfx_graph::{DynamicGraph, VertexId};
+use tfx_query::{MatchRecord, MatchSemantics, QVertexId, QueryGraph};
+
+use crate::candidates::{candidate_vertices, vertex_matches};
+use crate::order::matching_order;
+
+/// Result summary of an enumeration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Enumeration {
+    /// Number of matches delivered to the sink.
+    pub matches: u64,
+    /// False iff the sink aborted the search early.
+    pub completed: bool,
+}
+
+struct Search<'a> {
+    g: &'a DynamicGraph,
+    q: &'a QueryGraph,
+    semantics: MatchSemantics,
+    order: Vec<QVertexId>,
+    mapping: Vec<Option<VertexId>>,
+    used: FxHashSet<VertexId>,
+    found: u64,
+}
+
+impl<'a> Search<'a> {
+    /// Verifies every query edge between `u` (about to be mapped to `v`) and
+    /// already-mapped query vertices, plus self-loops on `u`.
+    fn joinable(&self, u: QVertexId, v: VertexId) -> bool {
+        for &(w, e) in self.q.out_adj(u) {
+            if w == u {
+                // self-loop: needs a data self-loop at v
+                if !self.g.has_edge_matching(v, v, self.q.edge(e).label) {
+                    return false;
+                }
+                continue;
+            }
+            if let Some(mw) = self.mapping[w.index()] {
+                if !self.g.has_edge_matching(v, mw, self.q.edge(e).label) {
+                    return false;
+                }
+            }
+        }
+        for &(w, e) in self.q.in_adj(u) {
+            if w == u {
+                continue; // self-loop handled above
+            }
+            if let Some(mw) = self.mapping[w.index()] {
+                if !self.g.has_edge_matching(mw, v, self.q.edge(e).label) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Candidates for `order[depth]`, enumerated from the cheapest matched
+    /// neighbor's adjacency list.
+    fn candidates_from_pivot(&self, u: QVertexId) -> Vec<VertexId> {
+        // (pivot data vertex, true = follow out-edges of pivot)
+        let mut best: Option<(usize, VertexId, bool, Option<tfx_graph::LabelId>)> = None;
+        for &(w, e) in self.q.in_adj(u) {
+            if w == u {
+                continue;
+            }
+            if let Some(mw) = self.mapping[w.index()] {
+                // edge w -> u: follow out-edges of m(w)
+                let cost = self.g.out_degree(mw);
+                if best.is_none_or(|(c, _, _, _)| cost < c) {
+                    best = Some((cost, mw, true, self.q.edge(e).label));
+                }
+            }
+        }
+        for &(w, e) in self.q.out_adj(u) {
+            if w == u {
+                continue;
+            }
+            if let Some(mw) = self.mapping[w.index()] {
+                // edge u -> w: follow in-edges of m(w)
+                let cost = self.g.in_degree(mw);
+                if best.is_none_or(|(c, _, _, _)| cost < c) {
+                    best = Some((cost, mw, false, self.q.edge(e).label));
+                }
+            }
+        }
+        let (_, pivot, follow_out, label) =
+            best.expect("connected matching order guarantees a mapped neighbor");
+        let adj =
+            if follow_out { self.g.out_neighbors(pivot) } else { self.g.in_neighbors(pivot) };
+        let mut out: Vec<VertexId> = adj
+            .iter()
+            .filter(|&&(_, dl)| label.is_none_or(|ql| ql == dl))
+            .map(|&(v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn recurse(&mut self, depth: usize, sink: &mut dyn FnMut(&MatchRecord) -> bool) -> bool {
+        if depth == self.order.len() {
+            self.found += 1;
+            let rec = MatchRecord::from_partial(&self.mapping);
+            return sink(&rec);
+        }
+        let u = self.order[depth];
+        let cands = if depth == 0 {
+            candidate_vertices(self.g, self.q, u)
+        } else {
+            self.candidates_from_pivot(u)
+        };
+        for v in cands {
+            if self.semantics == MatchSemantics::Isomorphism && self.used.contains(&v) {
+                continue;
+            }
+            if !vertex_matches(self.g, self.q, u, v) {
+                continue;
+            }
+            if !self.joinable(u, v) {
+                continue;
+            }
+            self.mapping[u.index()] = Some(v);
+            if self.semantics == MatchSemantics::Isomorphism {
+                self.used.insert(v);
+            }
+            let keep_going = self.recurse(depth + 1, sink);
+            self.mapping[u.index()] = None;
+            if self.semantics == MatchSemantics::Isomorphism {
+                self.used.remove(&v);
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Enumerates every match of `q` in `g` under `semantics`, streaming each
+/// into `sink`. The sink returns `false` to abort the search early.
+pub fn enumerate_matches(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    semantics: MatchSemantics,
+    sink: &mut dyn FnMut(&MatchRecord) -> bool,
+) -> Enumeration {
+    let order = matching_order(g, q);
+    let mut search = Search {
+        g,
+        q,
+        semantics,
+        order,
+        mapping: vec![None; q.vertex_count()],
+        used: FxHashSet::default(),
+        found: 0,
+    };
+    let completed = search.recurse(0, sink);
+    Enumeration { matches: search.found, completed }
+}
+
+/// Counts matches without materializing them.
+pub fn count_matches(g: &DynamicGraph, q: &QueryGraph, semantics: MatchSemantics) -> u64 {
+    enumerate_matches(g, q, semantics, &mut |_| true).matches
+}
+
+/// Collects all matches into a set (the oracle representation: matches are
+/// *sets* of mappings, per the problem statement).
+pub fn match_set(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    semantics: MatchSemantics,
+) -> FxHashSet<MatchRecord> {
+    let mut out = FxHashSet::default();
+    enumerate_matches(g, q, semantics, &mut |m| {
+        let fresh = out.insert(m.clone());
+        debug_assert!(fresh, "backtracking enumeration must not produce duplicates");
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::{LabelId, LabelSet};
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    /// Data: a0 -> {b0, b1}, a1 -> b0. Query: A -> B.
+    fn simple() -> (DynamicGraph, QueryGraph) {
+        let mut g = DynamicGraph::new();
+        let a0 = g.add_vertex(LabelSet::single(l(0)));
+        let a1 = g.add_vertex(LabelSet::single(l(0)));
+        let b0 = g.add_vertex(LabelSet::single(l(1)));
+        let b1 = g.add_vertex(LabelSet::single(l(1)));
+        g.insert_edge(a0, l(9), b0);
+        g.insert_edge(a0, l(9), b1);
+        g.insert_edge(a1, l(9), b0);
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(l(0)));
+        let u1 = q.add_vertex(LabelSet::single(l(1)));
+        q.add_edge(u0, u1, Some(l(9)));
+        (g, q)
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let (g, q) = simple();
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 3);
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Isomorphism), 3);
+    }
+
+    #[test]
+    fn homomorphism_vs_isomorphism() {
+        // Query path B <- A -> B can map both Bs to the same data vertex
+        // under homomorphism but not isomorphism.
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(l(0)));
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        g.insert_edge(a, l(9), b);
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(l(0)));
+        let u1 = q.add_vertex(LabelSet::single(l(1)));
+        let u2 = q.add_vertex(LabelSet::single(l(1)));
+        q.add_edge(u0, u1, Some(l(9)));
+        q.add_edge(u0, u2, Some(l(9)));
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 1);
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Isomorphism), 0);
+    }
+
+    #[test]
+    fn triangle_query() {
+        let mut g = DynamicGraph::new();
+        let v: Vec<_> = (0..4).map(|_| g.add_vertex(LabelSet::empty())).collect();
+        // One directed triangle 0->1->2->0 plus a distractor edge 0->3.
+        g.insert_edge(v[0], l(0), v[1]);
+        g.insert_edge(v[1], l(0), v[2]);
+        g.insert_edge(v[2], l(0), v[0]);
+        g.insert_edge(v[0], l(0), v[3]);
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::empty());
+        let b = q.add_vertex(LabelSet::empty());
+        let c = q.add_vertex(LabelSet::empty());
+        q.add_edge(a, b, None);
+        q.add_edge(b, c, None);
+        q.add_edge(c, a, None);
+        // Three rotations of the triangle.
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 3);
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Isomorphism), 3);
+    }
+
+    #[test]
+    fn self_loop_query() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::empty());
+        let b = g.add_vertex(LabelSet::empty());
+        g.insert_edge(a, l(0), a);
+        g.insert_edge(a, l(0), b);
+        let mut q = QueryGraph::new();
+        let u = q.add_vertex(LabelSet::empty());
+        q.add_edge(u, u, None);
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 1);
+    }
+
+    #[test]
+    fn early_abort() {
+        let (g, q) = simple();
+        let mut seen = 0;
+        let res = enumerate_matches(&g, &q, MatchSemantics::Homomorphism, &mut |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(res.matches, 2);
+        assert!(!res.completed);
+    }
+
+    #[test]
+    fn match_set_contents() {
+        let (g, q) = simple();
+        let set = match_set(&g, &q, MatchSemantics::Homomorphism);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&MatchRecord::new(vec![VertexId(0), VertexId(2)])));
+        assert!(set.contains(&MatchRecord::new(vec![VertexId(0), VertexId(3)])));
+        assert!(set.contains(&MatchRecord::new(vec![VertexId(1), VertexId(2)])));
+    }
+
+    #[test]
+    fn wildcard_vertex_and_edge_labels() {
+        let (g, q0) = simple();
+        let _ = q0;
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::empty());
+        let u1 = q.add_vertex(LabelSet::empty());
+        q.add_edge(u0, u1, None);
+        // every data edge matches: 3
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 3);
+    }
+
+    #[test]
+    fn no_match_when_labels_absent() {
+        let (g, _) = simple();
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(l(7)));
+        let u1 = q.add_vertex(LabelSet::empty());
+        q.add_edge(u0, u1, None);
+        assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 0);
+    }
+}

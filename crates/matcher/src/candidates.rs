@@ -1,0 +1,107 @@
+//! Candidate filtering: cheap necessary conditions for `m(u) = v`.
+
+use tfx_graph::{DynamicGraph, VertexId};
+use tfx_query::{QVertexId, QueryGraph};
+
+/// True iff `v` passes the label and neighborhood-structure filters for `u`.
+///
+/// Conditions (all necessary under homomorphism, hence also isomorphism):
+/// * `L(u) ⊆ L(v)`;
+/// * for every concrete out-edge label of `u`, `v` has at least one out-edge
+///   with that label (and symmetrically for in-edges);
+/// * if `u` has any out-edge (resp. in-edge), so does `v`.
+///
+/// Degree counting is deliberately "at least one per distinct label" rather
+/// than per-edge: under homomorphism several query edges may map onto the
+/// same data edge.
+pub fn vertex_matches(g: &DynamicGraph, q: &QueryGraph, u: QVertexId, v: VertexId) -> bool {
+    if !q.labels(u).is_subset_of(g.labels(v)) {
+        return false;
+    }
+    let out_q = q.out_adj(u);
+    let in_q = q.in_adj(u);
+    if !out_q.is_empty() && g.out_degree(v) == 0 {
+        return false;
+    }
+    if !in_q.is_empty() && g.in_degree(v) == 0 {
+        return false;
+    }
+    for &(_, e) in out_q {
+        if let Some(l) = q.edge(e).label {
+            if !g.out_neighbors(v).iter().any(|&(_, dl)| dl == l) {
+                return false;
+            }
+        }
+    }
+    for &(_, e) in in_q {
+        if let Some(l) = q.edge(e).label {
+            if !g.in_neighbors(v).iter().any(|&(_, dl)| dl == l) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All data vertices passing [`vertex_matches`] for `u`.
+pub fn candidate_vertices(g: &DynamicGraph, q: &QueryGraph, u: QVertexId) -> Vec<VertexId> {
+    g.vertices().filter(|&v| vertex_matches(g, q, u, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::{LabelId, LabelSet};
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    #[test]
+    fn label_filter() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(l(0)));
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        let mut q = QueryGraph::new();
+        let u = q.add_vertex(LabelSet::single(l(0)));
+        assert!(vertex_matches(&g, &q, u, a));
+        assert!(!vertex_matches(&g, &q, u, b));
+    }
+
+    #[test]
+    fn structural_filter() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::empty());
+        let b = g.add_vertex(LabelSet::empty());
+        let c = g.add_vertex(LabelSet::empty());
+        g.insert_edge(a, l(5), b);
+
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::empty());
+        let u1 = q.add_vertex(LabelSet::empty());
+        q.add_edge(u0, u1, Some(l(5)));
+
+        // u0 needs an out-edge labeled 5: only `a` qualifies.
+        assert_eq!(candidate_vertices(&g, &q, u0), vec![a]);
+        // u1 needs an in-edge labeled 5: only `b` qualifies.
+        assert_eq!(candidate_vertices(&g, &q, u1), vec![b]);
+        let _ = c;
+    }
+
+    #[test]
+    fn wildcard_edge_only_requires_some_edge() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::empty());
+        let b = g.add_vertex(LabelSet::empty());
+        let iso = g.add_vertex(LabelSet::empty());
+        g.insert_edge(a, l(1), b);
+
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::empty());
+        let u1 = q.add_vertex(LabelSet::empty());
+        q.add_edge(u0, u1, None);
+        assert!(vertex_matches(&g, &q, u0, a));
+        assert!(!vertex_matches(&g, &q, u0, iso), "isolated vertex has no out edge");
+        assert!(!vertex_matches(&g, &q, u0, b), "b has no out edge");
+    }
+}

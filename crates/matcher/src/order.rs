@@ -1,0 +1,99 @@
+//! Matching-order selection for the static matcher.
+//!
+//! Classic candidate-size-first heuristic: start from the query vertex with
+//! the fewest candidates, then repeatedly append the connected (already
+//! adjacent to the chosen prefix) vertex with the fewest candidates. A
+//! connected order guarantees every vertex after the first can be enumerated
+//! from a matched neighbor's adjacency list instead of the whole graph.
+
+use tfx_graph::DynamicGraph;
+use tfx_query::{QVertexId, QueryGraph};
+
+use crate::candidates::candidate_vertices;
+
+/// Computes a connected matching order for `q` against `g`.
+///
+/// Panics if `q` is empty or disconnected.
+pub fn matching_order(g: &DynamicGraph, q: &QueryGraph) -> Vec<QVertexId> {
+    assert!(q.vertex_count() > 0, "empty query");
+    assert!(q.is_connected(), "query must be connected");
+    let n = q.vertex_count();
+    let card: Vec<usize> = q.vertices().map(|u| candidate_vertices(g, q, u).len()).collect();
+
+    let mut order = Vec::with_capacity(n);
+    let mut chosen = vec![false; n];
+    let first = q
+        .vertices()
+        .min_by_key(|u| (card[u.index()], u.index()))
+        .expect("non-empty query");
+    order.push(first);
+    chosen[first.index()] = true;
+
+    while order.len() < n {
+        let next = q
+            .vertices()
+            .filter(|&u| !chosen[u.index()])
+            .filter(|&u| {
+                q.out_adj(u)
+                    .iter()
+                    .chain(q.in_adj(u).iter())
+                    .any(|&(w, _)| chosen[w.index()])
+            })
+            .min_by_key(|u| (card[u.index()], u.index()))
+            .expect("connected query always has an adjacent unchosen vertex");
+        order.push(next);
+        chosen[next.index()] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::{LabelId, LabelSet};
+
+    #[test]
+    fn order_is_connected_and_complete() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::empty());
+        let b = q.add_vertex(LabelSet::empty());
+        let c = q.add_vertex(LabelSet::empty());
+        let d = q.add_vertex(LabelSet::empty());
+        q.add_edge(a, b, None);
+        q.add_edge(b, c, None);
+        q.add_edge(c, d, None);
+        let g = DynamicGraph::new();
+        let order = matching_order(&g, &q);
+        assert_eq!(order.len(), 4);
+        let mut seen = [false; 4];
+        seen[order[0].index()] = true;
+        for &u in &order[1..] {
+            assert!(
+                q.out_adj(u).iter().chain(q.in_adj(u).iter()).any(|&(w, _)| seen[w.index()]),
+                "vertex {u} not adjacent to prefix"
+            );
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rare_label_goes_first() {
+        let mut g = DynamicGraph::new();
+        let rare = LabelSet::single(LabelId(0));
+        let common = LabelSet::single(LabelId(1));
+        let r = g.add_vertex(rare.clone());
+        let mut last = r;
+        for _ in 0..5 {
+            let v = g.add_vertex(common.clone());
+            g.insert_edge(last, LabelId(9), v);
+            last = v;
+        }
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(common.clone());
+        let u1 = q.add_vertex(rare);
+        q.add_edge(u1, u0, None);
+        let order = matching_order(&g, &q);
+        assert_eq!(order[0], u1, "vertex with 1 candidate ordered first");
+    }
+}

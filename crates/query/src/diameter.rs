@@ -1,0 +1,101 @@
+//! Query diameter (used by the IncIsoMat baseline).
+//!
+//! §2.2: "the diameter of q is defined as the length of the longest of all
+//! pairs' shortest paths in q by regarding q as an undirected graph".
+
+use crate::qgraph::QueryGraph;
+use std::collections::VecDeque;
+
+/// The undirected diameter of `q`. Returns 0 for single-vertex queries.
+///
+/// Panics if `q` is disconnected (the diameter would be infinite).
+pub fn diameter(q: &QueryGraph) -> usize {
+    assert!(q.is_connected(), "diameter of a disconnected query is infinite");
+    let n = q.vertex_count();
+    let mut best = 0usize;
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in q.vertices() {
+        dist.fill(usize::MAX);
+        dist[s.index()] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            best = best.max(du);
+            for &(w, _) in q.out_adj(u).iter().chain(q.in_adj(u).iter()) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgraph::QVertexId;
+    use tfx_graph::LabelSet;
+
+    fn path(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let vs: Vec<QVertexId> = (0..n).map(|_| q.add_vertex(LabelSet::empty())).collect();
+        for w in vs.windows(2) {
+            q.add_edge(w[0], w[1], None);
+        }
+        q
+    }
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(&path(1)), 0);
+        assert_eq!(diameter(&path(2)), 1);
+        assert_eq!(diameter(&path(5)), 4);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // u0 -> u1 <- u2: directed paths don't connect u0 and u2 but the
+        // undirected diameter is 2.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::empty());
+        let b = q.add_vertex(LabelSet::empty());
+        let c = q.add_vertex(LabelSet::empty());
+        q.add_edge(a, b, None);
+        q.add_edge(c, b, None);
+        assert_eq!(diameter(&q), 2);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        // triangle: diameter 1
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::empty());
+        let b = q.add_vertex(LabelSet::empty());
+        let c = q.add_vertex(LabelSet::empty());
+        q.add_edge(a, b, None);
+        q.add_edge(b, c, None);
+        q.add_edge(c, a, None);
+        assert_eq!(diameter(&q), 1);
+    }
+
+    /// Figure 1a's query has diameter 3 per the paper's own example.
+    #[test]
+    fn fig1_query_diameter_is_three() {
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::empty());
+        let u1 = q.add_vertex(LabelSet::empty());
+        let u2 = q.add_vertex(LabelSet::empty());
+        let u3 = q.add_vertex(LabelSet::empty());
+        let u4 = q.add_vertex(LabelSet::empty());
+        q.add_edge(u0, u1, None);
+        q.add_edge(u1, u2, None);
+        q.add_edge(u1, u3, None);
+        q.add_edge(u3, u4, None);
+        let _ = u2;
+        assert_eq!(diameter(&q), 3); // longest shortest path: u2 .. u4
+    }
+}

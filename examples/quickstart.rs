@@ -1,0 +1,74 @@
+//! Quickstart: register a pattern, stream edge updates, receive positive
+//! and negative matches.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use turboflux::prelude::*;
+
+fn main() {
+    // Labels are interned strings.
+    let mut labels = LabelInterner::new();
+    let person = labels.intern("Person");
+    let company = labels.intern("Company");
+    let works_at = labels.intern("worksAt");
+    let knows = labels.intern("knows");
+
+    // The initial data graph g0: two people, one company, one employment.
+    let mut g0 = DynamicGraph::new();
+    let ada = g0.add_vertex(LabelSet::single(person));
+    let grace = g0.add_vertex(LabelSet::single(person));
+    let acme = g0.add_vertex(LabelSet::single(company));
+    g0.insert_edge(ada, works_at, acme);
+
+    // The pattern: two acquainted people working at the same company.
+    //   u0:Person -knows-> u1:Person, u0 -worksAt-> u2:Company,
+    //   u1 -worksAt-> u2
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(person));
+    let u1 = q.add_vertex(LabelSet::single(person));
+    let u2 = q.add_vertex(LabelSet::single(company));
+    q.add_edge(u0, u1, Some(knows));
+    q.add_edge(u0, u2, Some(works_at));
+    q.add_edge(u1, u2, Some(works_at));
+
+    // Register the query; the engine builds its DCG over g0.
+    let mut engine = TurboFlux::new(q, g0, TurboFluxConfig::default());
+    println!(
+        "registered query; initial DCG holds {} intermediate edges",
+        engine.dcg().stored_edge_count()
+    );
+
+    let mut on_report = |p: Positiveness, m: &MatchRecord| {
+        let sign = if p == Positiveness::Positive { "+" } else { "-" };
+        println!("  {sign} match: {m:?}");
+    };
+
+    // Stream updates. Nothing matches until the pattern closes.
+    println!("insert grace -worksAt-> acme");
+    engine.apply(&UpdateOp::InsertEdge { src: grace, label: works_at, dst: acme }, &mut on_report);
+
+    println!("insert ada -knows-> grace (completes the pattern)");
+    engine.apply(&UpdateOp::InsertEdge { src: ada, label: knows, dst: grace }, &mut on_report);
+
+    // New vertices can arrive mid-stream.
+    println!("a new colleague joins");
+    let lin = VertexId(3);
+    engine.apply(
+        &UpdateOp::AddVertex { id: lin, labels: LabelSet::single(person) },
+        &mut on_report,
+    );
+    engine.apply(&UpdateOp::InsertEdge { src: lin, label: works_at, dst: acme }, &mut on_report);
+    engine.apply(&UpdateOp::InsertEdge { src: ada, label: knows, dst: lin }, &mut on_report);
+
+    // Deletions report the matches that vanish.
+    println!("ada leaves acme");
+    engine.apply(&UpdateOp::DeleteEdge { src: ada, label: works_at, dst: acme }, &mut on_report);
+
+    println!(
+        "done; DCG now holds {} intermediate edges ({} bytes)",
+        engine.dcg().stored_edge_count(),
+        engine.intermediate_result_bytes()
+    );
+}

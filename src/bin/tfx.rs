@@ -1,0 +1,231 @@
+//! `tfx` — command-line continuous subgraph matching.
+//!
+//! Loads an initial data graph and a query (both in the simple text format
+//! of `tfx_query::parser`), registers the query with the TurboFlux engine,
+//! then streams update operations from a file (or stdin) and prints every
+//! positive / negative match as it appears.
+//!
+//! ```sh
+//! tfx <graph.txt> <query.txt> [--stream <ops.txt>] [--iso] [--quiet]
+//! ```
+//!
+//! Stream format, one operation per line (`#` comments allowed):
+//!
+//! ```text
+//! v 7 User            # vertex 7 arrives with label User
+//! + 3 7 knows         # insert edge 3 -knows-> 7
+//! - 3 7 knows         # delete it again
+//! ```
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+use turboflux::prelude::*;
+use turboflux::query::parser;
+
+fn usage(code: u8) -> ExitCode {
+    eprintln!("usage: tfx <graph.txt> <query.txt> [--stream <ops.txt>|-] [--iso] [--quiet]");
+    ExitCode::from(code)
+}
+
+struct Options {
+    graph_path: String,
+    query_path: String,
+    stream_path: Option<String>,
+    semantics: MatchSemantics,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut stream_path = None;
+    let mut semantics = MatchSemantics::Homomorphism;
+    let mut quiet = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--stream" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --stream requires a path (or - for stdin)");
+                    return Err(usage(2));
+                };
+                stream_path = Some(p);
+            }
+            "--iso" => semantics = MatchSemantics::Isomorphism,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(usage(0)),
+            other if other.starts_with('-') && other != "-" => {
+                eprintln!("error: unknown flag `{other}`");
+                return Err(usage(2));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage(2));
+    }
+    let mut it = positional.into_iter();
+    Ok(Options {
+        graph_path: it.next().expect("checked length"),
+        query_path: it.next().expect("checked length"),
+        stream_path,
+        semantics,
+        quiet,
+    })
+}
+
+/// Parses one stream line into an operation. The interner assigns fresh
+/// label ids for labels never seen in the graph or query.
+fn parse_op(line: &str, lineno: usize, it: &mut LabelInterner) -> Result<Option<UpdateOp>, String> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let op = parts.next().expect("non-empty line");
+    let parse_vertex = |s: Option<&str>| -> Result<VertexId, String> {
+        s.ok_or_else(|| format!("line {lineno}: missing vertex id"))?
+            .parse::<u32>()
+            .map(VertexId)
+            .map_err(|_| format!("line {lineno}: vertex ids are integers"))
+    };
+    match op {
+        "v" => {
+            let id = parse_vertex(parts.next())?;
+            let labels: LabelSet = parts.map(|s| it.intern(s)).collect();
+            Ok(Some(UpdateOp::AddVertex { id, labels }))
+        }
+        "+" | "-" => {
+            let src = parse_vertex(parts.next())?;
+            let dst = parse_vertex(parts.next())?;
+            let label = it.intern(
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: edge ops need a label"))?,
+            );
+            if parts.next().is_some() {
+                return Err(format!("line {lineno}: trailing tokens"));
+            }
+            Ok(Some(if op == "+" {
+                UpdateOp::InsertEdge { src, label, dst }
+            } else {
+                UpdateOp::DeleteEdge { src, label, dst }
+            }))
+        }
+        other => Err(format!("line {lineno}: unknown op `{other}` (expected v, + or -)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let mut interner = LabelInterner::new();
+
+    let graph_text = match std::fs::read_to_string(&opts.graph_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.graph_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let g0 = match parser::parse_data_graph(&graph_text, &mut interner) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.graph_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let query_text = match std::fs::read_to_string(&opts.query_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.query_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let q = match parser::parse_query(&query_text, &mut interner) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.query_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if q.edge_count() == 0 || !q.is_connected() {
+        eprintln!("error: the query must be connected and have at least one edge");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "graph: {} vertices, {} edges; query: {} vertices, {} edges ({:?})",
+        g0.vertex_count(),
+        g0.edge_count(),
+        q.vertex_count(),
+        q.edge_count(),
+        opts.semantics,
+    );
+    let mut engine =
+        TurboFlux::new(q, g0, TurboFluxConfig::with_semantics(opts.semantics));
+
+    let quiet = opts.quiet;
+    let mut initial = 0u64;
+    engine.initial_matches(&mut |m| {
+        initial += 1;
+        if !quiet {
+            println!("= {m:?}");
+        }
+    });
+    eprintln!("{initial} initial matches; DCG {} edges", engine.dcg().stored_edge_count());
+
+    let Some(stream_path) = opts.stream_path else {
+        return ExitCode::SUCCESS;
+    };
+    let reader: Box<dyn Read> = if stream_path == "-" {
+        Box::new(std::io::stdin())
+    } else {
+        match std::fs::File::open(&stream_path) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("error: cannot read {stream_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let (mut pos, mut neg, mut ops) = (0u64, 0u64, 0u64);
+    let started = std::time::Instant::now();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: reading stream: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let op = match parse_op(&line, i + 1, &mut interner) {
+            Ok(None) => continue,
+            Ok(Some(op)) => op,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        ops += 1;
+        engine.apply(&op, &mut |p, m| {
+            match p {
+                Positiveness::Positive => pos += 1,
+                Positiveness::Negative => neg += 1,
+            }
+            if !quiet {
+                let sign = if p == Positiveness::Positive { '+' } else { '-' };
+                println!("{sign} {m:?}");
+            }
+        });
+    }
+    eprintln!(
+        "processed {ops} ops in {:.2?}: {pos} positive, {neg} negative matches; DCG {} edges ({} bytes)",
+        started.elapsed(),
+        engine.dcg().stored_edge_count(),
+        engine.intermediate_result_bytes(),
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! End-to-end test of the `tfx` CLI binary: graph + query + stream files
+//! in, match lines out.
+
+use std::process::Command;
+
+fn tfx_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tfx")
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write test file");
+    p
+}
+
+#[test]
+fn cli_streams_matches_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("tfx-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = write(
+        &dir,
+        "g.txt",
+        "v 0 Person\nv 1 Person\nv 2 Company\ne 0 2 worksAt\n",
+    );
+    let query = write(
+        &dir,
+        "q.txt",
+        "v 0 Person\nv 1 Person\nv 2 Company\ne 0 1 knows\ne 0 2 worksAt\ne 1 2 worksAt\n",
+    );
+    let stream = write(&dir, "s.txt", "+ 1 2 worksAt\n+ 0 1 knows\n- 0 2 worksAt\n");
+
+    let out = Command::new(tfx_bin())
+        .args([graph.to_str().unwrap(), query.to_str().unwrap(), "--stream"])
+        .arg(&stream)
+        .output()
+        .expect("run tfx");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let positives = stdout.lines().filter(|l| l.starts_with('+')).count();
+    let negatives = stdout.lines().filter(|l| l.starts_with('-')).count();
+    assert_eq!(positives, 1, "stdout: {stdout}");
+    assert_eq!(negatives, 1, "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 initial matches"), "stderr: {stderr}");
+    assert!(stderr.contains("1 positive, 1 negative"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_flags_and_bad_streams() {
+    let out = Command::new(tfx_bin()).arg("--bogus").output().expect("run tfx");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let dir = std::env::temp_dir().join(format!("tfx-cli2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let graph = write(&dir, "g.txt", "v 0 A\nv 1 B\ne 0 1 r\n");
+    let query = write(&dir, "q.txt", "v 0 A\nv 1 B\ne 0 1 r\n");
+    let stream = write(&dir, "s.txt", "+ 0 oops r\n");
+    let out = Command::new(tfx_bin())
+        .args([graph.to_str().unwrap(), query.to_str().unwrap(), "--stream"])
+        .arg(&stream)
+        .output()
+        .expect("run tfx");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("vertex ids are integers"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_isomorphism_flag_changes_semantics() {
+    let dir = std::env::temp_dir().join(format!("tfx-cli3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    // Query B <- A -> B over one data A->B: 1 homomorphism, 0 isomorphisms.
+    let graph = write(&dir, "g.txt", "v 0 A\nv 1 B\n");
+    let query = write(&dir, "q.txt", "v 0 A\nv 1 B\nv 2 B\ne 0 1 r\ne 0 2 r\n");
+    let stream = write(&dir, "s.txt", "+ 0 1 r\n");
+    let hom = Command::new(tfx_bin())
+        .args([graph.to_str().unwrap(), query.to_str().unwrap(), "--stream"])
+        .arg(&stream)
+        .output()
+        .expect("run tfx");
+    assert!(String::from_utf8_lossy(&hom.stderr).contains("1 positive"));
+    let iso = Command::new(tfx_bin())
+        .args([graph.to_str().unwrap(), query.to_str().unwrap(), "--iso", "--stream"])
+        .arg(&stream)
+        .output()
+        .expect("run tfx");
+    assert!(String::from_utf8_lossy(&iso.stderr).contains("0 positive"));
+    std::fs::remove_dir_all(&dir).ok();
+}
