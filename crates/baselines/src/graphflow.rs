@@ -59,11 +59,7 @@ impl Graphflow {
             return false;
         }
         for &(w, e) in self.q.out_adj(u) {
-            let pair = if w == u {
-                Some((v, v))
-            } else {
-                m[w.index()].map(|mw| (v, mw))
-            };
+            let pair = if w == u { Some((v, v)) } else { m[w.index()].map(|mw| (v, mw)) };
             if let Some((s, d)) = pair {
                 if !self.g.has_edge_matching(s, d, self.q.edge(e).label) {
                     return false;
@@ -131,16 +127,9 @@ impl Graphflow {
 
     /// Next unbound query vertex adjacent to a bound one.
     fn next_vertex(&self, m: &[Option<VertexId>]) -> Option<QVertexId> {
-        self.q
-            .vertices()
-            .filter(|u| m[u.index()].is_none())
-            .find(|&u| {
-                self.q
-                    .out_adj(u)
-                    .iter()
-                    .chain(self.q.in_adj(u))
-                    .any(|&(w, _)| m[w.index()].is_some())
-            })
+        self.q.vertices().filter(|u| m[u.index()].is_none()).find(|&u| {
+            self.q.out_adj(u).iter().chain(self.q.in_adj(u)).any(|&(w, _)| m[w.index()].is_some())
+        })
     }
 
     /// Keep a solution only in the evaluation of the smallest query edge

@@ -17,12 +17,12 @@
 pub mod common;
 pub mod graphflow;
 pub mod inc_iso_mat;
-pub mod nec;
 pub mod naive;
+pub mod nec;
 pub mod sj_tree;
 
 pub use graphflow::Graphflow;
 pub use inc_iso_mat::IncIsoMat;
-pub use nec::{nec_compress, NecCompression, NecSjTree};
 pub use naive::NaiveRecompute;
+pub use nec::{nec_compress, NecCompression, NecSjTree};
 pub use sj_tree::SjTree;

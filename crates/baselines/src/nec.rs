@@ -18,8 +18,8 @@
 //! [`nec_compress`] returns `None` for incompressible queries.
 
 use rustc_hash::FxHashMap;
-use tfx_graph::{DynamicGraph, LabelId, UpdateOp, VertexId};
 use tfx_graph::LabelSet;
+use tfx_graph::{DynamicGraph, LabelId, UpdateOp, VertexId};
 use tfx_query::{
     ContinuousMatcher, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph,
 };
@@ -101,10 +101,7 @@ pub fn nec_compress(q: &QueryGraph) -> Option<NecCompression> {
             compressed.add_edge(s, d, e.label);
         }
     }
-    let class_of = q
-        .vertices()
-        .map(|u| new_id[class_rep[u.index()].index()])
-        .collect();
+    let class_of = q.vertices().map(|u| new_id[class_rep[u.index()].index()]).collect();
     Some(NecCompression { compressed, multiplicity, class_of })
 }
 
@@ -133,8 +130,7 @@ impl NecSjTree {
         units: u64,
     ) -> Option<Self> {
         let compression = nec_compress(q)?;
-        let inner =
-            SjTree::with_budget(compression.compressed.clone(), g0, semantics, units);
+        let inner = SjTree::with_budget(compression.compressed.clone(), g0, semantics, units);
         Some(NecSjTree { inner, compression, semantics })
     }
 
@@ -152,9 +148,8 @@ impl NecSjTree {
     /// the materialized compressed root table.
     pub fn original_match_count(&mut self) -> u64 {
         let nq = self.compression.compressed.vertex_count();
-        let merged: Vec<usize> = (0..nq)
-            .filter(|&i| self.compression.multiplicity[i] > 1)
-            .collect();
+        let merged: Vec<usize> =
+            (0..nq).filter(|&i| self.compression.multiplicity[i] > 1).collect();
         // Group compressed root tuples by the non-merged columns; within a
         // group, class images are independent, so the group is a cross
         // product of per-class candidate sets.
@@ -166,8 +161,7 @@ impl NecSjTree {
                 .filter(|i| !merged.contains(i))
                 .map(|i| m.get(QVertexId(i as u32)))
                 .collect();
-            let vals: Vec<VertexId> =
-                merged.iter().map(|&i| m.get(QVertexId(i as u32))).collect();
+            let vals: Vec<VertexId> = merged.iter().map(|&i| m.get(QVertexId(i as u32))).collect();
             groups.entry(key).or_default().push(vals);
         }
         let mut total = 0u64;
@@ -244,8 +238,7 @@ mod tests {
         let c = nec_compress(&q).expect("star compresses");
         assert_eq!(c.compressed.vertex_count(), 3, "A + merged C + B");
         assert_eq!(c.compressed.edge_count(), 2);
-        let merged_mult: Vec<u32> =
-            c.multiplicity.iter().copied().filter(|&m| m > 1).collect();
+        let merged_mult: Vec<u32> = c.multiplicity.iter().copied().filter(|&m| m > 1).collect();
         assert_eq!(merged_mult, vec![3]);
     }
 
@@ -314,8 +307,7 @@ mod tests {
         let q = star();
         let g = star_data(30);
         let plain = SjTree::new(q.clone(), g.clone(), MatchSemantics::Homomorphism);
-        let mut nec =
-            NecSjTree::try_new(&q, g, MatchSemantics::Homomorphism).expect("compresses");
+        let mut nec = NecSjTree::try_new(&q, g, MatchSemantics::Homomorphism).expect("compresses");
         assert!(
             nec.intermediate_result_bytes() < plain.intermediate_result_bytes(),
             "NEC must shrink the materialized state ({} vs {})",

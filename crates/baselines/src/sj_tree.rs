@@ -176,8 +176,7 @@ impl SjTree {
         for (i, n) in nodes.into_iter().enumerate() {
             // join level i+1 produced node i; it is probed with plan i+1's
             // key (if any).
-            let probe_key: &[QVertexId] =
-                if i + 1 < plans.len() { &plans[i + 1].key } else { &[] };
+            let probe_key: &[QVertexId] = if i + 1 < plans.len() { &plans[i + 1].key } else { &[] };
             nodes2.push(NodeTable::new(n.cover, probe_key));
         }
         // Leaf 0 participates as the left side of join 1: it is probed with
@@ -362,11 +361,9 @@ fn choose_edge_order(q: &QueryGraph, g0: &DynamicGraph) -> Vec<EdgeId> {
     let cost: Vec<usize> = q
         .edges()
         .iter()
-        .map(|e| {
-            match stats.matching_edge_count(q.labels(e.src), e.label, q.labels(e.dst)) {
-                0 => usize::MAX,
-                n => n,
-            }
+        .map(|e| match stats.matching_edge_count(q.labels(e.src), e.label, q.labels(e.dst)) {
+            0 => usize::MAX,
+            n => n,
         })
         .collect();
     let m = q.edge_count();
@@ -412,9 +409,7 @@ impl ContinuousMatcher for SjTree {
             }
             UpdateOp::InsertEdge { src, label, dst } => {
                 if self.g.apply(op) {
-                    self.ingest_edge(*src, *label, *dst, &mut |m| {
-                        sink(Positiveness::Positive, m)
-                    });
+                    self.ingest_edge(*src, *label, *dst, &mut |m| sink(Positiveness::Positive, m));
                 }
             }
             UpdateOp::DeleteEdge { .. } => {
@@ -505,9 +500,15 @@ mod tests {
         q.add_edge(a, b, None);
         let mut e = SjTree::new(q, g, MatchSemantics::Homomorphism);
         let mut got = 0;
-        e.apply(&UpdateOp::InsertEdge { src: VertexId(0), label: l(1), dst: VertexId(1) }, &mut |_, _| got += 1);
+        e.apply(
+            &UpdateOp::InsertEdge { src: VertexId(0), label: l(1), dst: VertexId(1) },
+            &mut |_, _| got += 1,
+        );
         assert_eq!(got, 1);
-        e.apply(&UpdateOp::InsertEdge { src: VertexId(0), label: l(2), dst: VertexId(1) }, &mut |_, _| got += 1);
+        e.apply(
+            &UpdateOp::InsertEdge { src: VertexId(0), label: l(2), dst: VertexId(1) },
+            &mut |_, _| got += 1,
+        );
         assert_eq!(got, 1, "same mapping via a parallel edge is discarded");
     }
 

@@ -6,7 +6,9 @@ use rustc_hash::FxHashSet;
 use tfx_baselines::{Graphflow, IncIsoMat, NaiveRecompute, SjTree};
 use tfx_graph::{DynamicGraph, LabelId, LabelSet, UpdateOp, VertexId};
 use tfx_match::match_set;
-use tfx_query::{ContinuousMatcher, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph};
+use tfx_query::{
+    ContinuousMatcher, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph,
+};
 
 struct Rng(u64);
 

@@ -1,0 +1,94 @@
+//! Fleet benchmark: N registered queries × batch size, parallel
+//! `apply_batch` vs the single-threaded `apply_batch_sequential` baseline,
+//! on the LSBench-like insert stream.
+//!
+//! The interesting axes:
+//!
+//! * query count (1 / 4 / 16) — parallelism is across engines, so one query
+//!   cannot speed up and sixteen should approach the core count,
+//! * batch size (1 / 64 / 1024) — batches amortize thread-scope setup; a
+//!   batch of 1 measures the worst-case round-trip overhead.
+//!
+//! On a single-core host the parallel path cannot win (the per-op barrier
+//! rounds just add overhead); run this on a multi-core machine to see the
+//! fan-out effect. `scripts/bench_snapshot.sh` records the host's core
+//! count next to the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tfx_core::{Fleet, TurboFlux, TurboFluxConfig};
+use tfx_datagen::{lsbench, queries, LsBenchConfig, Pcg32};
+use tfx_graph::UpdateOp;
+use tfx_query::{ContinuousMatcher, QueryGraph};
+
+const STREAM_OPS: usize = 1024;
+
+/// Per-query delta budget over the whole stream. Random tree queries on the
+/// skewed LSBench-like graph occasionally explode (tens of millions of
+/// matches); since the fleet buffers one record per delta per batch, such a
+/// query measures allocator throughput, not engine throughput — screen them
+/// out deterministically by replaying the stream on a standalone engine.
+const MAX_DELTAS_PER_QUERY: u64 = 50_000;
+
+fn setup() -> (tfx_graph::DynamicGraph, Vec<QueryGraph>, Vec<UpdateOp>) {
+    let d = lsbench::generate(&LsBenchConfig { users: 150, seed: 7, stream_frac: 0.15 });
+    let ops: Vec<UpdateOp> = d.stream.ops().iter().take(STREAM_OPS).cloned().collect();
+    let mut rng = Pcg32::new(21);
+    let mut queries: Vec<QueryGraph> = Vec::new();
+    while queries.len() < 16 {
+        let q = queries::random_tree_query(&d.schema, 5, &mut rng);
+        let mut probe = TurboFlux::new(q.clone(), d.g0.clone(), TurboFluxConfig::default());
+        let mut n = 0u64;
+        for op in &ops {
+            probe.apply(op, &mut |_, _| n += 1);
+            if n > MAX_DELTAS_PER_QUERY {
+                break;
+            }
+        }
+        if n <= MAX_DELTAS_PER_QUERY {
+            queries.push(q);
+        }
+    }
+    (d.g0, queries, ops)
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let (g0, queries, ops) = setup();
+    for &nq in &[1usize, 4, 16] {
+        let mut group = c.benchmark_group(format!("fleet_throughput/q{nq}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(ops.len() as u64));
+        for &batch in &[1usize, 64, 1024] {
+            group.bench_with_input(BenchmarkId::new("fleet", batch), &batch, |b, &batch| {
+                b.iter(|| {
+                    let mut fleet = Fleet::new(g0.clone());
+                    for q in &queries[..nq] {
+                        fleet.register(q.clone(), TurboFluxConfig::default());
+                    }
+                    let mut n = 0u64;
+                    for chunk in ops.chunks(batch) {
+                        fleet.apply_batch(chunk, &mut |_| n += 1);
+                    }
+                    black_box(n)
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("sequential", batch), &batch, |b, &batch| {
+                b.iter(|| {
+                    let mut fleet = Fleet::with_threads(g0.clone(), 1);
+                    for q in &queries[..nq] {
+                        fleet.register(q.clone(), TurboFluxConfig::default());
+                    }
+                    let mut n = 0u64;
+                    for chunk in ops.chunks(batch) {
+                        fleet.apply_batch_sequential(chunk, &mut |_| n += 1);
+                    }
+                    black_box(n)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

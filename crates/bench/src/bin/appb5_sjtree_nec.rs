@@ -43,7 +43,15 @@ fn main() {
 
     let mut t = Table::new(
         "App B.5: SJ-Tree vs SJ-Tree+NEC vs TurboFlux (compressible tree q6)",
-        &["query", "SJ-Tree cost", "SJ+NEC cost", "SJ bytes", "SJ+NEC bytes", "TurboFlux cost", "counts agree"],
+        &[
+            "query",
+            "SJ-Tree cost",
+            "SJ+NEC cost",
+            "SJ bytes",
+            "SJ+NEC bytes",
+            "TurboFlux cost",
+            "counts agree",
+        ],
     );
     for (i, q) in compressible.iter().enumerate() {
         // SJ-Tree can burn minutes reaching a large budget on these
@@ -60,13 +68,9 @@ fn main() {
         let plain_cost = t0.elapsed();
 
         let t0 = Instant::now();
-        let mut nec = NecSjTree::try_with_budget(
-            q,
-            d.g0.clone(),
-            MatchSemantics::Homomorphism,
-            budget,
-        )
-        .expect("selected as compressible");
+        let mut nec =
+            NecSjTree::try_with_budget(q, d.g0.clone(), MatchSemantics::Homomorphism, budget)
+                .expect("selected as compressible");
         for op in &d.stream {
             nec.apply(op, &mut |_, _| {});
         }

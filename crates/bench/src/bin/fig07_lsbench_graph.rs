@@ -32,8 +32,12 @@ fn main() {
     if scatter {
         for (i, size) in sizes.iter().enumerate() {
             let tf = &summaries[i][0];
-            scatter_table(&format!("Fig 7c: TurboFlux vs SJ-Tree (size {size})"), tf, &summaries[i][1])
-                .emit();
+            scatter_table(
+                &format!("Fig 7c: TurboFlux vs SJ-Tree (size {size})"),
+                tf,
+                &summaries[i][1],
+            )
+            .emit();
             scatter_table(
                 &format!("Fig 7d: TurboFlux vs Graphflow (size {size})"),
                 tf,

@@ -18,20 +18,13 @@ fn main() {
     let engines = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow];
     let factors = [1usize, 4, 16];
     let datasets: Vec<_> = factors.iter().map(|&f| lsbench_dataset_scaled(&p, f)).collect();
-    let fixed_stream_len = datasets
-        .iter()
-        .map(|d| d.stream.insert_count())
-        .min()
-        .expect("non-empty dataset list");
+    let fixed_stream_len =
+        datasets.iter().map(|d| d.stream.insert_count()).min().expect("non-empty dataset list");
 
     // Queries come from the smallest scale (same schema everywhere).
     let sets = tree_query_sets(&datasets[0], &p, &[Params::DEFAULT_TREE_SIZE]);
     let (_, queries) = &sets[0];
-    eprintln!(
-        "{} selective queries; stream fixed to {} inserts",
-        queries.len(),
-        fixed_stream_len
-    );
+    eprintln!("{} selective queries; stream fixed to {} inserts", queries.len(), fixed_stream_len);
 
     let mut cost = Table::new(
         "Fig 9a: varying dataset size — avg cost(M(Δg,q))",

@@ -30,8 +30,7 @@ fn main() {
         })
         .collect();
     ranked.sort_by_key(|&(_, c)| c);
-    let picks =
-        [("min-cost", ranked[0].0), ("max-cost", ranked[ranked.len() - 1].0)];
+    let picks = [("min-cost", ranked[0].0), ("max-cost", ranked[ranked.len() - 1].0)];
 
     // ~6% deletions of the inserted edges (the paper's "600 deletions per
     // 10 000 insertions").

@@ -107,9 +107,7 @@ pub fn make_engine(
             e.set_deadline(Some(deadline));
             Box::new(e)
         }
-        EngineKind::SjTree => {
-            Box::new(SjTree::with_budget(q, g0, cfg.semantics, cfg.work_budget))
-        }
+        EngineKind::SjTree => Box::new(SjTree::with_budget(q, g0, cfg.semantics, cfg.work_budget)),
         EngineKind::Graphflow => {
             Box::new(Graphflow::new(q, g0, cfg.semantics).with_budget(cfg.work_budget))
         }
@@ -233,19 +231,21 @@ mod tests {
 
     #[test]
     fn run_all_engines_on_a_small_workload() {
-        let d = lsbench::generate(&tfx_datagen::LsBenchConfig {
-            users: 30,
-            seed: 1,
-            stream_frac: 0.2,
-        });
+        let d =
+            lsbench::generate(&tfx_datagen::LsBenchConfig { users: 30, seed: 1, stream_frac: 0.2 });
         let mut rng = tfx_datagen::Pcg32::new(3);
         let q = tfx_datagen::queries::random_tree_query(&d.schema, 3, &mut rng);
         let cfg = RunConfig::new(MatchSemantics::Homomorphism, Duration::from_secs(10), u64::MAX);
         let bare = bare_update_time(&d.g0, &d.stream);
-        let runs: Vec<QueryRun> = [EngineKind::TurboFlux, EngineKind::SjTree, EngineKind::Graphflow, EngineKind::IncIsoMat]
-            .into_iter()
-            .map(|k| run_query_on_engine(k, &q, &d.g0, &d.stream, bare, &cfg))
-            .collect();
+        let runs: Vec<QueryRun> = [
+            EngineKind::TurboFlux,
+            EngineKind::SjTree,
+            EngineKind::Graphflow,
+            EngineKind::IncIsoMat,
+        ]
+        .into_iter()
+        .map(|k| run_query_on_engine(k, &q, &d.g0, &d.stream, bare, &cfg))
+        .collect();
         // All engines agree on the positive-match count and none time out.
         for r in &runs {
             assert!(!r.timed_out, "{:?} timed out", r.engine);
@@ -259,14 +259,12 @@ mod tests {
 
     #[test]
     fn selectivity_filter_drops_no_match_queries() {
-        let d = lsbench::generate(&tfx_datagen::LsBenchConfig {
-            users: 30,
-            seed: 1,
-            stream_frac: 0.2,
-        });
+        let d =
+            lsbench::generate(&tfx_datagen::LsBenchConfig { users: 30, seed: 1, stream_frac: 0.2 });
         let mut rng = tfx_datagen::Pcg32::new(5);
-        let qs: Vec<QueryGraph> =
-            (0..6).map(|_| tfx_datagen::queries::random_tree_query(&d.schema, 4, &mut rng)).collect();
+        let qs: Vec<QueryGraph> = (0..6)
+            .map(|_| tfx_datagen::queries::random_tree_query(&d.schema, 4, &mut rng))
+            .collect();
         let kept = filter_selective_queries(qs.clone(), &d, Duration::from_secs(5));
         assert!(kept.len() <= qs.len());
         for (_, n) in &kept {

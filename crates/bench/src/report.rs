@@ -1,10 +1,9 @@
 //! Plain-text table printing plus JSON dumps for the experiment binaries.
 
-use serde::Serialize;
 use std::time::Duration;
 
 /// A printable result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (figure id + description).
     pub title: String,
@@ -61,13 +60,58 @@ impl Table {
         out
     }
 
+    /// Serializes the table as a single JSON object (hand-rolled; the build
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json_string_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string_array(&mut out, row);
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Prints the table and, when `TFX_JSON` is set, a JSON line.
     pub fn emit(&self) {
         println!("{}", self.render());
         if std::env::var("TFX_JSON").is_ok() {
-            println!("{}", serde_json::to_string(self).expect("table serializes"));
+            println!("{}", self.to_json());
         }
     }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, s);
+    }
+    out.push(']');
 }
 
 /// Formats a duration in adaptive units (µs/ms/s).
@@ -141,6 +185,13 @@ mod tests {
         assert_eq!(fmt_bytes(100), "100B");
         assert_eq!(fmt_bytes(2048), "2.0KB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut t = Table::new("q\"uote\n", &["a"]);
+        t.row(vec!["x\\y".into()]);
+        assert_eq!(t.to_json(), r#"{"title":"q\"uote\n","headers":["a"],"rows":[["x\\y"]]}"#);
     }
 
     #[test]

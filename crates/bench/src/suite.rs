@@ -111,9 +111,10 @@ pub fn storage_table(
             .find(|s| s.engine == EngineKind::SjTree)
             .filter(|s| s.completed > 0);
         let (sj_bytes, ratio) = match sj {
-            Some(s) if tf.mean_bytes > 0 => {
-                (fmt_bytes(s.mean_bytes), format!("{:.1}x", s.mean_bytes as f64 / tf.mean_bytes as f64))
-            }
+            Some(s) if tf.mean_bytes > 0 => (
+                fmt_bytes(s.mean_bytes),
+                format!("{:.1}x", s.mean_bytes as f64 / tf.mean_bytes as f64),
+            ),
             Some(s) => (fmt_bytes(s.mean_bytes), "-".into()),
             None => ("- (all timeout)".into(), "-".into()),
         };
@@ -124,15 +125,8 @@ pub fn storage_table(
 
 /// Per-query scatter rows (Figures 6c/d, 7c/d): TurboFlux cost vs a
 /// competitor's cost, excluding the competitor's timeouts.
-pub fn scatter_table(
-    title: &str,
-    tf: &EngineSummary,
-    other: &EngineSummary,
-) -> Table {
-    let mut t = Table::new(
-        title,
-        &["query", "TurboFlux", other.engine.name(), "slowdown"],
-    );
+pub fn scatter_table(title: &str, tf: &EngineSummary, other: &EngineSummary) -> Table {
+    let mut t = Table::new(title, &["query", "TurboFlux", other.engine.name(), "slowdown"]);
     for (i, (a, b)) in tf.per_query.iter().zip(&other.per_query).enumerate() {
         if a.timed_out || b.timed_out {
             continue;
@@ -163,10 +157,10 @@ mod tests {
     fn compare_and_tabulate() {
         let d = lsbench::generate(&LsBenchConfig { users: 25, seed: 2, stream_frac: 0.2 });
         let mut rng = Pcg32::new(1);
-        let queries: Vec<QueryGraph> =
-            (0..3).map(|_| tfx_datagen::queries::random_tree_query(&d.schema, 3, &mut rng)).collect();
-        let cfg =
-            RunConfig::new(MatchSemantics::Homomorphism, Duration::from_secs(5), u64::MAX);
+        let queries: Vec<QueryGraph> = (0..3)
+            .map(|_| tfx_datagen::queries::random_tree_query(&d.schema, 3, &mut rng))
+            .collect();
+        let cfg = RunConfig::new(MatchSemantics::Homomorphism, Duration::from_secs(5), u64::MAX);
         let sums = compare_engines(
             &[EngineKind::TurboFlux, EngineKind::SjTree],
             &queries,

@@ -14,11 +14,7 @@ pub fn lsbench_dataset(p: &Params) -> Dataset {
 
 /// An LSBench-like dataset scaled by `factor` users (Fig. 9).
 pub fn lsbench_dataset_scaled(p: &Params, factor: usize) -> Dataset {
-    lsbench::generate(&LsBenchConfig {
-        users: p.users * factor,
-        seed: p.seed,
-        stream_frac: 0.1,
-    })
+    lsbench::generate(&LsBenchConfig { users: p.users * factor, seed: p.seed, stream_frac: 0.1 })
 }
 
 /// The default Netflow-like dataset.

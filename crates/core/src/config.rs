@@ -17,6 +17,13 @@ pub struct TurboFluxConfig {
     /// Count floor below which drift is ignored (avoids churn on tiny
     /// counts).
     pub order_drift_floor: u64,
+    /// Check drift only for query vertices whose explicit count actually
+    /// changed since the last check (tracked by a dirty bitmask in the
+    /// DCG), instead of scanning all counts on every update. Equivalent to
+    /// the full scan — an unchanged count cannot start drifting — so this
+    /// exists purely as an ablation hook for the incremental
+    /// [`crate::order::OrderMaintenance`] path.
+    pub incremental_drift_check: bool,
 }
 
 impl Default for TurboFluxConfig {
@@ -26,6 +33,7 @@ impl Default for TurboFluxConfig {
             adjust_matching_order: true,
             order_drift_factor: 2.0,
             order_drift_floor: 64,
+            incremental_drift_check: true,
         }
     }
 }
@@ -46,6 +54,7 @@ mod tests {
         let c = TurboFluxConfig::default();
         assert_eq!(c.semantics, MatchSemantics::Homomorphism);
         assert!(c.adjust_matching_order);
+        assert!(c.incremental_drift_check);
         assert_eq!(
             TurboFluxConfig::with_semantics(MatchSemantics::Isomorphism).semantics,
             MatchSemantics::Isomorphism

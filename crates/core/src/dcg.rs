@@ -103,6 +103,10 @@ pub struct Dcg {
     /// Global explicit-edge count per query vertex (drives matching-order
     /// maintenance).
     expl_count: Vec<u64>,
+    /// Bit `u` set iff `expl_count[u]` changed since the last
+    /// [`Dcg::take_dirty_expl`] — lets the drift check above touch only the
+    /// counts that can possibly have started drifting.
+    dirty_expl: u64,
     stored_edges: u64,
 }
 
@@ -121,6 +125,7 @@ impl Dcg {
             root: FxHashMap::default(),
             expl_out_bits: FxHashMap::default(),
             expl_count: vec![0; nq],
+            dirty_expl: 0,
             stored_edges: 0,
         }
     }
@@ -181,8 +186,7 @@ impl Dcg {
                 };
                 self.fix_counters(u, old, new, 1);
                 // Maintain the explicit-out bitmap of the parent.
-                let has_expl =
-                    self.out[u.index()].get(&pv).is_some_and(|l| l.expl_count() > 0);
+                let has_expl = self.out[u.index()].get(&pv).is_some_and(|l| l.expl_count() > 0);
                 let bits = self.expl_out_bits.entry(pv).or_insert(0);
                 if has_expl {
                     *bits |= 1 << u.0;
@@ -210,8 +214,10 @@ impl Dcg {
         let is_expl = new == Some(EdgeState::Explicit);
         if was_expl && !is_expl {
             self.expl_count[u.index()] -= weight;
+            self.dirty_expl |= 1 << u.0;
         } else if !was_expl && is_expl {
             self.expl_count[u.index()] += weight;
+            self.dirty_expl |= 1 << u.0;
         }
     }
 
@@ -252,7 +258,12 @@ impl Dcg {
 
     /// Calls `f` for each *explicit* outgoing edge target of `pv` labeled
     /// `u` (the hot loop of `SubgraphSearch`).
-    pub fn for_each_expl_out(&self, pv: VertexId, u: QVertexId, f: &mut dyn FnMut(VertexId) -> bool) {
+    pub fn for_each_expl_out(
+        &self,
+        pv: VertexId,
+        u: QVertexId,
+        f: &mut dyn FnMut(VertexId) -> bool,
+    ) {
         for &(v, st) in self.out_edge_slice(pv, u) {
             if st == EdgeState::Explicit && !f(v) {
                 return;
@@ -267,6 +278,22 @@ impl Dcg {
     pub fn out_edge_slice(&self, pv: VertexId, u: QVertexId) -> &[(VertexId, EdgeState)] {
         debug_assert_ne!(u, self.root_qv);
         self.out[u.index()].get(&pv).map_or(&[][..], |l| &l.edges)
+    }
+
+    /// The stored incoming edges of `v` labeled `u` as a borrowed slice
+    /// (allocation-free upward climbs; callers snapshot into scratch before
+    /// mutating the DCG).
+    #[inline]
+    pub fn in_edge_slice(&self, v: VertexId, u: QVertexId) -> &[(VertexId, EdgeState)] {
+        debug_assert_ne!(u, self.root_qv);
+        self.inc[u.index()].get(&v).map_or(&[][..], |l| &l.edges)
+    }
+
+    /// Returns and clears the dirty bitmask: bit `u` is set iff the
+    /// explicit count of query vertex `u` changed since the previous call.
+    #[inline]
+    pub fn take_dirty_expl(&mut self) -> u64 {
+        std::mem::take(&mut self.dirty_expl)
     }
 
     /// Number of explicit outgoing edges of `pv` labeled `u`.
@@ -456,6 +483,34 @@ mod tests {
         d.transit(None, u(0), v(0), Some(EdgeState::Implicit));
         d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
         assert_eq!(d.resident_bytes(), 16 + 8);
+    }
+
+    #[test]
+    fn edge_slices_mirror_cloned_views() {
+        let mut d = Dcg::new(4, u(0));
+        d.transit(Some(v(0)), u(2), v(5), Some(EdgeState::Explicit));
+        d.transit(Some(v(1)), u(2), v(5), Some(EdgeState::Implicit));
+        assert_eq!(d.in_edge_slice(v(5), u(2)), d.in_edges(v(5), u(2)).as_slice());
+        assert_eq!(d.out_edge_slice(v(0), u(2)), d.out_edges(v(0), u(2)).as_slice());
+        assert!(d.in_edge_slice(v(9), u(2)).is_empty());
+    }
+
+    #[test]
+    fn dirty_expl_tracks_count_changes() {
+        let mut d = Dcg::new(3, u(0));
+        assert_eq!(d.take_dirty_expl(), 0);
+        // Implicit edges never move explicit counts.
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        assert_eq!(d.take_dirty_expl(), 0);
+        // Upgrade marks the query vertex dirty; the mask is consumed.
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Explicit));
+        assert_eq!(d.take_dirty_expl(), 1 << 1);
+        assert_eq!(d.take_dirty_expl(), 0);
+        // Downgrade and root-edge transitions mark too.
+        d.transit(Some(v(0)), u(1), v(1), Some(EdgeState::Implicit));
+        d.transit(None, u(0), v(2), Some(EdgeState::Explicit));
+        assert_eq!(d.take_dirty_expl(), (1 << 1) | 1);
+        d.check_consistency();
     }
 
     #[test]

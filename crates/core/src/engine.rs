@@ -6,6 +6,18 @@
 //! `InsertEdgeAndEval` / `DeleteEdgeAndEval`, which maintain the DCG
 //! incrementally and stream positive / negative matches into the caller's
 //! sink.
+//!
+//! The engine can run in two ownership modes over the data graph:
+//!
+//! * **standalone** ([`TurboFlux::new`] + [`TurboFlux::apply_op`]): the
+//!   engine owns the graph and mutates it as part of applying updates;
+//! * **externally driven** ([`TurboFlux::register`] +
+//!   [`TurboFlux::eval_inserted_edge`] / [`TurboFlux::eval_deleting_edge`]
+//!   / [`TurboFlux::register_new_vertices`]): the caller — typically a
+//!   [`crate::fleet::Fleet`] multiplexing many engines over one stream —
+//!   owns the graph, mutates it itself, and passes it in read-only for
+//!   evaluation. Internally the standalone mode is the externally driven
+//!   mode applied to the engine's own graph.
 
 use tfx_graph::{DynamicGraph, GraphStats, LabelId, LabelSet, UpdateOp, VertexId};
 use tfx_query::{
@@ -15,13 +27,17 @@ use tfx_query::{
 
 use crate::config::TurboFluxConfig;
 use crate::dcg::{Dcg, EdgeState};
-use crate::tree_nav::for_each_child_candidate;
+use crate::order::OrderMaintenance;
+use crate::scratch::SearchScratch;
+use crate::tree_nav::collect_child_candidates;
 
 /// How many search steps between wall-clock deadline checks.
 const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 /// A continuous subgraph matching engine maintaining a data-centric graph.
 pub struct TurboFlux {
+    /// The engine's own data graph. Empty (and unused) when the engine was
+    /// created with [`TurboFlux::register`] and the caller owns the graph.
     pub(crate) g: DynamicGraph,
     pub(crate) q: QueryGraph,
     pub(crate) tree: QueryTree,
@@ -33,12 +49,11 @@ pub struct TurboFlux {
     pub(crate) child_mask: Vec<u64>,
     /// Non-tree query edges incident to each query vertex.
     pub(crate) non_tree_incident: Vec<Vec<EdgeId>>,
-    /// Explicit-count snapshot taken when the matching order was computed.
-    pub(crate) order_snapshot: Vec<u64>,
-    /// Scratch mapping reused across updates.
-    pub(crate) scratch_m: Vec<Option<VertexId>>,
-    /// Scratch match record reused across reports.
-    pub(crate) scratch_rec: MatchRecord,
+    /// Drift detection for `AdjustMatchingOrder`.
+    pub(crate) order_maint: OrderMaintenance,
+    /// Reusable buffers for the per-update hot path (embedding, candidate
+    /// stacks, edge snapshots); steady-state updates allocate nothing.
+    pub(crate) scratch: SearchScratch,
     /// Optional wall-clock deadline (benchmark timeouts); checked
     /// periodically inside the search.
     pub(crate) deadline: Option<std::time::Instant>,
@@ -50,13 +65,28 @@ pub struct TurboFlux {
 
 impl TurboFlux {
     /// Registers `q` against the initial data graph `g0` and builds the
-    /// initial DCG (Algorithm 2, lines 1–6).
+    /// initial DCG (Algorithm 2, lines 1–6). The engine owns `g0` and
+    /// maintains it through [`TurboFlux::apply_op`].
     ///
     /// Panics if `q` is empty, disconnected, or has more than 64 vertices.
     pub fn new(q: QueryGraph, g0: DynamicGraph, cfg: TurboFluxConfig) -> Self {
+        let mut engine = Self::register(q, &g0, cfg);
+        engine.g = g0;
+        engine
+    }
+
+    /// Registers `q` against a *borrowed* initial data graph and builds the
+    /// initial DCG, without taking ownership of the graph. The caller must
+    /// keep the graph in sync with the evaluation calls
+    /// ([`TurboFlux::eval_inserted_edge`], [`TurboFlux::eval_deleting_edge`],
+    /// [`TurboFlux::register_new_vertices`]); this is how a
+    /// [`crate::fleet::Fleet`] shares one graph across many engines.
+    ///
+    /// Panics if `q` is empty, disconnected, or has more than 64 vertices.
+    pub fn register(q: QueryGraph, g0: &DynamicGraph, cfg: TurboFluxConfig) -> Self {
         assert!(q.edge_count() > 0, "query must have at least one edge");
         assert!(q.is_connected(), "query must be connected");
-        let stats = GraphStats::new(&g0);
+        let stats = GraphStats::new(g0);
         let us = choose_start_vertex(&q, &stats);
         let tree = QueryTree::build(&q, us, &stats);
         let nq = q.vertex_count();
@@ -81,29 +111,31 @@ impl TurboFlux {
             mo: Vec::new(),
             child_mask,
             non_tree_incident,
-            order_snapshot: Vec::new(),
-            scratch_m: vec![None; nq],
-            scratch_rec: MatchRecord::default(),
+            order_maint: OrderMaintenance::default(),
+            scratch: SearchScratch::for_query(nq),
             deadline: None,
             deadline_tick: std::cell::Cell::new(DEADLINE_CHECK_INTERVAL),
             deadline_hit: std::cell::Cell::new(false),
-            g: g0,
+            g: DynamicGraph::default(),
             q,
             tree,
             cfg,
         };
         // Build the initial DCG: a hypothetical start-edge insertion for
         // every matching data vertex (Algorithm 2, lines 4–5).
-        for v in engine.g.vertices().collect::<Vec<_>>() {
-            if engine.q.labels(us).is_subset_of(engine.g.labels(v)) {
-                engine.build_dcg(None, us, v);
+        let mut scratch = std::mem::take(&mut engine.scratch);
+        for v in g0.vertices() {
+            if engine.q.labels(us).is_subset_of(g0.labels(v)) {
+                engine.build_dcg(g0, None, us, v, &mut scratch);
             }
         }
+        engine.scratch = scratch;
         engine.recompute_matching_order();
         engine
     }
 
-    /// The data graph as maintained by the engine.
+    /// The data graph as maintained by the engine. Empty for engines
+    /// created with [`TurboFlux::register`] (the caller owns the graph).
     pub fn graph(&self) -> &DynamicGraph {
         &self.g
     }
@@ -169,23 +201,32 @@ impl TurboFlux {
 
     /// `BuildDCG` (Algorithm 3): depth-first construction of the DCG below
     /// the edge `(parent, u, cv)`, applying Transitions 1 and 2.
-    pub(crate) fn build_dcg(&mut self, parent: Option<VertexId>, u: QVertexId, cv: VertexId) {
+    pub(crate) fn build_dcg(
+        &mut self,
+        g: &DynamicGraph,
+        parent: Option<VertexId>,
+        u: QVertexId,
+        cv: VertexId,
+        scratch: &mut SearchScratch,
+    ) {
         // Case 1/2 of Transition 1.
         let prev = self.dcg.transit(parent, u, cv, Some(EdgeState::Implicit));
         debug_assert!(prev.is_none(), "build_dcg must start from a NULL edge");
         // Check-and-avoid: recurse only if this is the first incoming edge
         // of cv labeled u — otherwise the subtrees are already built.
         if self.dcg.in_count_total(cv, u) == 1 {
-            for uc in self.tree.children(u).to_vec() {
-                let mut kids = Vec::new();
-                for_each_child_candidate(&self.g, &self.q, &self.tree, uc, cv, &mut |w| {
-                    kids.push(w);
-                });
-                kids.sort_unstable();
-                kids.dedup();
-                for w in kids {
-                    self.build_dcg(Some(cv), uc, w);
+            for ci in 0..self.tree.children(u).len() {
+                let uc = self.tree.children(u)[ci];
+                let start =
+                    collect_child_candidates(g, &self.q, &self.tree, uc, cv, &mut scratch.kids);
+                let end = scratch.kids.len();
+                let mut i = start;
+                while i < end {
+                    let w = scratch.kids[i];
+                    i += 1;
+                    self.build_dcg(g, Some(cv), uc, w, scratch);
                 }
+                scratch.kids.truncate(start);
             }
         }
         // Case 1/2 of Transition 2.
@@ -197,94 +238,113 @@ impl TurboFlux {
     /// `ClearDCG` (Algorithm 10): removes the edge `(parent, u, cv)` and
     /// cascades Transitions 3/5 into the subtree when `cv` loses its last
     /// incoming edge labeled `u`.
-    pub(crate) fn clear_dcg(&mut self, parent: Option<VertexId>, u: QVertexId, cv: VertexId) {
+    pub(crate) fn clear_dcg(
+        &mut self,
+        parent: Option<VertexId>,
+        u: QVertexId,
+        cv: VertexId,
+        scratch: &mut SearchScratch,
+    ) {
         let old = self.dcg.transit(parent, u, cv, None);
         debug_assert!(old.is_some(), "clear_dcg on a NULL edge");
         if self.dcg.in_count_total(cv, u) == 0 {
-            for uc in self.tree.children(u).to_vec() {
-                for (w, _) in self.dcg.out_edges(cv, uc) {
-                    self.clear_dcg(Some(cv), uc, w);
+            for ci in 0..self.tree.children(u).len() {
+                let uc = self.tree.children(u)[ci];
+                // Snapshot the out-list into the segmented stack: the
+                // recursion removes from the list being iterated.
+                let start = scratch.kids.len();
+                scratch.kids.extend(self.dcg.out_edge_slice(cv, uc).iter().map(|&(w, _)| w));
+                let end = scratch.kids.len();
+                let mut i = start;
+                while i < end {
+                    let w = scratch.kids[i];
+                    i += 1;
+                    self.clear_dcg(Some(cv), uc, w, scratch);
                 }
+                scratch.kids.truncate(start);
             }
         }
     }
 
     /// Reports all matches of the initial data graph (Algorithm 2, lines
-    /// 7–11).
+    /// 7–11), standalone mode.
     pub fn report_initial(&mut self, sink: &mut dyn FnMut(&MatchRecord)) {
-        let us = self.tree.root();
-        let starts: Vec<VertexId> = self
-            .g
-            .vertices()
-            .filter(|&v| self.dcg.root_state(v) == Some(EdgeState::Explicit))
-            .collect();
-        let ctx = crate::search::SearchCtx::initial();
-        let mut m = std::mem::take(&mut self.scratch_m);
-        let mut rec = std::mem::take(&mut self.scratch_rec);
-        for vs in starts {
-            m[us.index()] = Some(vs);
-            self.subgraph_search(0, &ctx, &mut m, &mut rec, &mut |_p, r| sink(r));
-            m[us.index()] = None;
-        }
-        self.scratch_m = m;
-        self.scratch_rec = rec;
+        let g = std::mem::take(&mut self.g);
+        self.initial_matches_in(&g, sink);
+        self.g = g;
     }
 
-    /// Applies one update operation, reporting positive / negative matches
-    /// (Algorithm 2, lines 12–20).
-    pub fn apply_op(
-        &mut self,
-        op: &UpdateOp,
-        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
-    ) {
+    /// Reports all matches of the initial data graph against a borrowed
+    /// graph (externally driven mode; `g` must be the graph the DCG was
+    /// built from).
+    pub fn initial_matches_in(&mut self, g: &DynamicGraph, sink: &mut dyn FnMut(&MatchRecord)) {
+        let us = self.tree.root();
+        let ctx = crate::search::SearchCtx::initial();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for vs in g.vertices() {
+            if self.dcg.root_state(vs) == Some(EdgeState::Explicit) {
+                scratch.m[us.index()] = Some(vs);
+                self.subgraph_search(g, 0, &ctx, &mut scratch, &mut |_p, r| sink(r));
+                scratch.m[us.index()] = None;
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Applies one update operation to the engine-owned graph, reporting
+    /// positive / negative matches (Algorithm 2, lines 12–20). Standalone
+    /// mode only — with [`TurboFlux::register`] the caller drives the
+    /// `eval_*` methods directly.
+    pub fn apply_op(&mut self, op: &UpdateOp, sink: &mut dyn FnMut(Positiveness, &MatchRecord)) {
         match op {
-            UpdateOp::AddVertex { id, .. } => {
-                let before = self.g.vertex_count() as u32;
+            UpdateOp::AddVertex { .. } => {
+                let before = VertexId(self.g.vertex_count() as u32);
                 if self.g.apply(op) {
-                    for i in before..self.g.vertex_count() as u32 {
-                        self.register_start_candidate(VertexId(i));
-                    }
+                    let g = std::mem::take(&mut self.g);
+                    self.register_new_vertices(&g, before);
+                    self.g = g;
                 }
-                let _ = id;
             }
             UpdateOp::InsertEdge { src, label, dst } => {
-                self.ensure_endpoints(*src, *dst);
-                if self.g.insert_edge(*src, *label, *dst) {
-                    self.insert_edge_and_eval(*src, *label, *dst, sink);
-                    self.maybe_adjust_order();
+                let before = VertexId(self.g.vertex_count() as u32);
+                // Streams normally announce vertices via `AddVertex`;
+                // tolerate label-less stragglers by creating empty-labeled
+                // endpoints.
+                let hi = src.0.max(dst.0);
+                if hi >= before.0 {
+                    self.g.ensure_vertex(VertexId(hi), LabelSet::empty());
                 }
+                let inserted = self.g.insert_edge(*src, *label, *dst);
+                let g = std::mem::take(&mut self.g);
+                self.register_new_vertices(&g, before);
+                if inserted {
+                    self.eval_inserted_edge(&g, *src, *label, *dst, sink);
+                }
+                self.g = g;
             }
             UpdateOp::DeleteEdge { src, label, dst } => {
                 if self.g.has_edge(*src, *label, *dst) {
-                    self.delete_edge_and_eval(*src, *label, *dst, sink);
+                    let g = std::mem::take(&mut self.g);
+                    self.eval_deleting_edge(&g, *src, *label, *dst, sink);
+                    self.g = g;
                     self.g.delete_edge(*src, *label, *dst);
-                    self.maybe_adjust_order();
                 }
             }
         }
     }
 
-    /// Streams normally announce vertices via `AddVertex`; tolerate
-    /// label-less stragglers by creating empty-labeled vertices.
-    fn ensure_endpoints(&mut self, src: VertexId, dst: VertexId) {
-        let hi = src.0.max(dst.0);
-        let before = self.g.vertex_count() as u32;
-        if hi >= before {
-            self.g.ensure_vertex(VertexId(hi), LabelSet::empty());
-            for i in before..=hi {
-                self.register_start_candidate(VertexId(i));
-            }
-        }
-    }
-
-    /// A freshly created vertex matching `u_s` gets an implicit start edge
-    /// (it cannot be explicit: the root of a non-trivial query has
-    /// children, and a new vertex has no edges).
-    fn register_start_candidate(&mut self, id: VertexId) {
+    /// Registers start candidates for every data vertex with id ≥ `from`
+    /// (externally driven mode: the caller grew the graph). A freshly
+    /// created vertex matching `u_s` gets an implicit start edge — it
+    /// cannot be explicit, since the root of a non-trivial query has
+    /// children and a new vertex has no edges.
+    pub fn register_new_vertices(&mut self, g: &DynamicGraph, from: VertexId) {
         let us = self.tree.root();
-        if self.q.labels(us).is_subset_of(self.g.labels(id)) && self.dcg.root_state(id).is_none()
-        {
-            self.dcg.transit(None, us, id, Some(EdgeState::Implicit));
+        for i in from.0..g.vertex_count() as u32 {
+            let v = VertexId(i);
+            if self.q.labels(us).is_subset_of(g.labels(v)) && self.dcg.root_state(v).is_none() {
+                self.dcg.transit(None, us, v, Some(EdgeState::Implicit));
+            }
         }
     }
 
@@ -304,29 +364,33 @@ impl TurboFlux {
         }
     }
 
-    /// Query edges matching the data edge `(src, label, dst)`, in
-    /// processing order (tree edges by ascending order key, then non-tree
-    /// edges by ascending id).
+    /// Fills `scratch.tree_edges` / `scratch.non_tree` with the query edges
+    /// matching the data edge `(src, label, dst)`, in processing order
+    /// (tree edges by ascending order key, then non-tree edges by ascending
+    /// id).
     pub(crate) fn matching_query_edges(
         &self,
+        g: &DynamicGraph,
         src: VertexId,
         label: LabelId,
         dst: VertexId,
-    ) -> (Vec<EdgeId>, Vec<EdgeId>) {
-        let mut tree_edges = Vec::new();
-        let mut non_tree = Vec::new();
+        scratch: &mut SearchScratch,
+    ) {
+        scratch.tree_edges.clear();
+        scratch.non_tree.clear();
         for i in 0..self.q.edge_count() as u32 {
             let e = EdgeId(i);
-            if self.q.edge_matches(&self.g, e, src, label, dst) {
+            if self.q.edge_matches(g, e, src, label, dst) {
                 if self.tree.is_tree_edge(e) {
-                    tree_edges.push(e);
+                    scratch.tree_edges.push(e);
                 } else {
-                    non_tree.push(e);
+                    scratch.non_tree.push(e);
                 }
             }
         }
-        tree_edges.sort_by_key(|&e| self.edge_order_key(e));
-        (tree_edges, non_tree)
+        // Order keys are unique per edge, so the unstable (allocation-free)
+        // sort is deterministic.
+        scratch.tree_edges.sort_unstable_by_key(|&e| self.edge_order_key(e));
     }
 
     /// For a matching *tree* edge, the (tree-parent-side, child-side) data

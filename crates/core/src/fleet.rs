@@ -1,0 +1,434 @@
+//! Batched, parallel multi-query evaluation over one shared update stream.
+//!
+//! Real deployments register many continuous queries against the same
+//! streaming graph. A [`Fleet`] owns the single [`DynamicGraph`] and `N`
+//! independent [`TurboFlux`] engines (one DCG per query) and evaluates
+//! update batches with [`Fleet::apply_batch`], fanning the per-update
+//! evaluation out across OS threads.
+//!
+//! # Concurrency model
+//!
+//! Updates must be evaluated against precise graph states — an insertion
+//! after the edge entered the graph, a deletion before it left — so a batch
+//! cannot simply be partitioned. Instead each batch runs as a sequence of
+//! per-op *rounds* inside one [`std::thread::scope`]:
+//!
+//! 1. the driver stages op `i` (mutates the graph under a write lock and
+//!    derives a [`Round`] plan),
+//! 2. workers wake on a barrier and claim engines off a shared atomic
+//!    cursor (work stealing — engines with expensive queries don't convoy
+//!    the cheap ones), each evaluating the round against the shared
+//!    read-locked graph,
+//! 3. a second barrier ends the round and the driver finalizes the op
+//!    (deletions leave the graph only after every engine evaluated them).
+//!
+//! Engines never touch each other's state; each is guarded by its own
+//! (uncontended) mutex so the borrow checker can hand disjoint `&mut`s to
+//! whichever worker claimed it.
+//!
+//! # Determinism
+//!
+//! Workers buffer matches per engine, tagged with the op index. Engines
+//! process ops strictly in order, so every buffer is naturally sorted by op
+//! index, and after the scope ends the buffers are drained in engine-id
+//! order. The emitted sequence is therefore ordered by `(engine, op_index,
+//! engine-internal emission order)` — byte-identical to
+//! [`Fleet::apply_batch_sequential`] and independent of thread count and
+//! scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, UpdateOp, VertexId};
+use tfx_query::{MatchRecord, Positiveness, QueryGraph};
+
+use crate::config::TurboFluxConfig;
+use crate::engine::TurboFlux;
+
+/// One buffered match: `(op index, positiveness, mapping)`.
+type Pending = (usize, Positiveness, MatchRecord);
+
+/// A match delta reported by [`Fleet::apply_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetDelta<'a> {
+    /// The engine (registration index) the match belongs to.
+    pub engine: usize,
+    /// Index of the triggering op within the batch.
+    pub op_index: usize,
+    /// Positive (appeared) or negative (disappeared).
+    pub positiveness: Positiveness,
+    /// The complete mapping. Borrowed from the batch buffer; clone to keep.
+    pub record: &'a MatchRecord,
+}
+
+/// Per-op evaluation plan, derived once by the driver and executed by every
+/// engine. Graph mutations happen in the driver (`stage` / `finalize`);
+/// rounds only read the graph.
+#[derive(Clone, Copy, Debug)]
+enum Round {
+    /// No-op (duplicate edge, missing edge, known vertex).
+    Skip,
+    /// Vertices with id ≥ `from` are new: register start candidates.
+    Register { from: VertexId },
+    /// The edge was inserted (and vertices ≥ `from` created for it).
+    Insert { from: VertexId, src: VertexId, label: LabelId, dst: VertexId },
+    /// The edge is about to be deleted; it is still present in the graph.
+    Delete { src: VertexId, label: LabelId, dst: VertexId },
+}
+
+/// Applies the graph-mutating half of `op` that must precede evaluation
+/// and plans the engines' round.
+fn stage(graph: &mut DynamicGraph, op: &UpdateOp) -> Round {
+    match *op {
+        UpdateOp::AddVertex { .. } => {
+            let from = VertexId(graph.vertex_count() as u32);
+            if graph.apply(op) {
+                Round::Register { from }
+            } else {
+                Round::Skip
+            }
+        }
+        UpdateOp::InsertEdge { src, label, dst } => {
+            let from = VertexId(graph.vertex_count() as u32);
+            // Tolerate label-less straggler endpoints, exactly like the
+            // standalone `TurboFlux::apply_op`.
+            let hi = src.0.max(dst.0);
+            if hi >= from.0 {
+                graph.ensure_vertex(VertexId(hi), LabelSet::empty());
+            }
+            if graph.insert_edge(src, label, dst) {
+                Round::Insert { from, src, label, dst }
+            } else if graph.vertex_count() as u32 > from.0 {
+                Round::Register { from }
+            } else {
+                Round::Skip
+            }
+        }
+        UpdateOp::DeleteEdge { src, label, dst } => {
+            if graph.has_edge(src, label, dst) {
+                Round::Delete { src, label, dst }
+            } else {
+                Round::Skip
+            }
+        }
+    }
+}
+
+/// Applies the graph-mutating half of an op that must *follow* evaluation.
+fn finalize(graph: &mut DynamicGraph, round: &Round) {
+    if let Round::Delete { src, label, dst } = *round {
+        graph.delete_edge(src, label, dst);
+    }
+}
+
+/// Runs one round on one engine, buffering its matches.
+fn run_round(
+    engine: &mut TurboFlux,
+    g: &DynamicGraph,
+    op_index: usize,
+    round: &Round,
+    buf: &mut Vec<Pending>,
+) {
+    match *round {
+        Round::Skip => {}
+        Round::Register { from } => engine.register_new_vertices(g, from),
+        Round::Insert { from, src, label, dst } => {
+            engine.register_new_vertices(g, from);
+            engine.eval_inserted_edge(g, src, label, dst, &mut |p, r| {
+                buf.push((op_index, p, r.clone()));
+            });
+        }
+        Round::Delete { src, label, dst } => {
+            engine.eval_deleting_edge(g, src, label, dst, &mut |p, r| {
+                buf.push((op_index, p, r.clone()));
+            });
+        }
+    }
+}
+
+/// Drains the per-engine buffers in deterministic `(engine, op_index)`
+/// order (each buffer is already sorted by op index).
+fn emit(bufs: &[Vec<Pending>], sink: &mut dyn FnMut(FleetDelta<'_>)) {
+    for (engine, buf) in bufs.iter().enumerate() {
+        debug_assert!(buf.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (op_index, p, rec) in buf {
+            sink(FleetDelta { engine, op_index: *op_index, positiveness: *p, record: rec });
+        }
+    }
+}
+
+/// A set of continuous queries evaluated together over one streaming graph.
+pub struct Fleet {
+    graph: DynamicGraph,
+    engines: Vec<TurboFlux>,
+    threads: usize,
+}
+
+impl Fleet {
+    /// A fleet over `g0` using all available parallelism.
+    pub fn new(g0: DynamicGraph) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::with_threads(g0, threads)
+    }
+
+    /// A fleet over `g0` evaluating batches on up to `threads` worker
+    /// threads (clamped to ≥ 1; `1` evaluates inline without spawning).
+    pub fn with_threads(g0: DynamicGraph, threads: usize) -> Self {
+        Fleet { graph: g0, engines: Vec::new(), threads: threads.max(1) }
+    }
+
+    /// Registers a query against the current graph state, building its DCG.
+    /// Returns the engine id used in [`FleetDelta::engine`].
+    pub fn register(&mut self, q: QueryGraph, cfg: TurboFluxConfig) -> usize {
+        self.engines.push(TurboFlux::register(q, &self.graph, cfg));
+        self.engines.len() - 1
+    }
+
+    /// The shared data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The engine registered as `id`.
+    pub fn engine(&self, id: usize) -> &TurboFlux {
+        &self.engines[id]
+    }
+
+    /// Number of registered engines.
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Configured worker-thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reports all matches of engine `id` against the current graph state.
+    pub fn report_initial(&mut self, id: usize, sink: &mut dyn FnMut(&MatchRecord)) {
+        let Fleet { graph, engines, .. } = self;
+        engines[id].initial_matches_in(graph, sink);
+    }
+
+    /// Applies a batch of updates to the shared graph, evaluating every
+    /// engine, in parallel when the fleet has both threads and engines to
+    /// spare. Matches are buffered per batch and delivered in deterministic
+    /// `(engine, op_index, emission)` order — identical to
+    /// [`Fleet::apply_batch_sequential`] regardless of thread count.
+    pub fn apply_batch(&mut self, ops: &[UpdateOp], sink: &mut dyn FnMut(FleetDelta<'_>)) {
+        let workers = self.threads.min(self.engines.len());
+        if workers <= 1 || ops.is_empty() {
+            return self.apply_batch_sequential(ops, sink);
+        }
+        let nengines = self.engines.len();
+        let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
+        {
+            // Each engine (plus its buffer) behind its own mutex: exactly
+            // one worker claims it per round, so locks never contend; the
+            // mutex exists to hand out disjoint `&mut`s safely.
+            let slots: Vec<Mutex<(&mut TurboFlux, &mut Vec<Pending>)>> = self
+                .engines
+                .iter_mut()
+                .zip(bufs.iter_mut())
+                .map(|(e, b)| Mutex::new((e, b)))
+                .collect();
+            // Workers read the graph during rounds; the driver writes it
+            // strictly between rounds (while no read guard is held, by the
+            // barrier protocol), so this lock never blocks anyone.
+            let graph = RwLock::new(std::mem::take(&mut self.graph));
+            let cursor = AtomicUsize::new(0);
+            let barrier = Barrier::new(workers + 1);
+            let round: RwLock<(usize, Round)> = RwLock::new((0, Round::Skip));
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        for _ in 0..ops.len() {
+                            barrier.wait(); // round published
+                            {
+                                let g = graph.read().unwrap();
+                                let (op_index, rd) = *round.read().unwrap();
+                                // Work stealing: grab the next unclaimed
+                                // engine until none are left.
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if i >= nengines {
+                                        break;
+                                    }
+                                    let mut slot = slots[i].lock().unwrap();
+                                    let (engine, buf) = &mut *slot;
+                                    run_round(engine, &g, op_index, &rd, buf);
+                                }
+                            } // read guards dropped before the barrier
+                            barrier.wait(); // round complete
+                        }
+                    });
+                }
+                for (op_index, op) in ops.iter().enumerate() {
+                    {
+                        let mut g = graph.write().unwrap();
+                        *round.write().unwrap() = (op_index, stage(&mut g, op));
+                    }
+                    cursor.store(0, Ordering::SeqCst);
+                    barrier.wait(); // start the round
+                    barrier.wait(); // every engine evaluated
+                    let rd = round.read().unwrap().1;
+                    finalize(&mut graph.write().unwrap(), &rd);
+                }
+            });
+            self.graph = graph.into_inner().unwrap();
+        }
+        emit(&bufs, sink);
+    }
+
+    /// Single-threaded reference implementation of [`Fleet::apply_batch`]:
+    /// same staging, same buffering, same output order. Used as the
+    /// determinism oracle and the benchmark baseline.
+    pub fn apply_batch_sequential(
+        &mut self,
+        ops: &[UpdateOp],
+        sink: &mut dyn FnMut(FleetDelta<'_>),
+    ) {
+        let mut bufs: Vec<Vec<Pending>> =
+            std::iter::repeat_with(Vec::new).take(self.engines.len()).collect();
+        for (op_index, op) in ops.iter().enumerate() {
+            let round = stage(&mut self.graph, op);
+            for (i, engine) in self.engines.iter_mut().enumerate() {
+                run_round(engine, &self.graph, op_index, &round, &mut bufs[i]);
+            }
+            finalize(&mut self.graph, &round);
+        }
+        emit(&bufs, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::LabelSet;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    /// g0: a:A, b:B, c:A; q1 = A-7->B, q2 = A-7->B<-8-A.
+    fn setup() -> (DynamicGraph, Vec<QueryGraph>) {
+        let mut g = DynamicGraph::new();
+        g.add_vertex(LabelSet::single(l(0)));
+        g.add_vertex(LabelSet::single(l(1)));
+        g.add_vertex(LabelSet::single(l(0)));
+
+        let mut q1 = QueryGraph::new();
+        let a = q1.add_vertex(LabelSet::single(l(0)));
+        let b = q1.add_vertex(LabelSet::single(l(1)));
+        q1.add_edge(a, b, Some(l(7)));
+
+        let mut q2 = QueryGraph::new();
+        let a = q2.add_vertex(LabelSet::single(l(0)));
+        let b = q2.add_vertex(LabelSet::single(l(1)));
+        let c = q2.add_vertex(LabelSet::single(l(0)));
+        q2.add_edge(a, b, Some(l(7)));
+        q2.add_edge(c, b, Some(l(8)));
+
+        (g, vec![q1, q2])
+    }
+
+    fn ops() -> Vec<UpdateOp> {
+        use UpdateOp::*;
+        let v = VertexId;
+        vec![
+            InsertEdge { src: v(0), label: l(7), dst: v(1) },
+            InsertEdge { src: v(2), label: l(8), dst: v(1) },
+            InsertEdge { src: v(2), label: l(7), dst: v(1) },
+            InsertEdge { src: v(0), label: l(7), dst: v(1) }, // duplicate: skip
+            DeleteEdge { src: v(0), label: l(7), dst: v(1) },
+            DeleteEdge { src: v(0), label: l(7), dst: v(1) }, // missing: skip
+            AddVertex { id: v(3), labels: LabelSet::single(l(0)) },
+            InsertEdge { src: v(3), label: l(7), dst: v(1) },
+        ]
+    }
+
+    fn collect_batch(
+        fleet: &mut Fleet,
+        ops: &[UpdateOp],
+        parallel: bool,
+    ) -> Vec<(usize, usize, Positiveness, MatchRecord)> {
+        let mut out = Vec::new();
+        let mut sink = |d: FleetDelta<'_>| {
+            out.push((d.engine, d.op_index, d.positiveness, d.record.clone()));
+        };
+        if parallel {
+            fleet.apply_batch(ops, &mut sink);
+        } else {
+            fleet.apply_batch_sequential(ops, &mut sink);
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_equals_sequential_equals_standalone() {
+        let (g0, queries) = setup();
+
+        let mut par = Fleet::with_threads(g0.clone(), 4);
+        let mut seq = Fleet::with_threads(g0.clone(), 1);
+        for q in &queries {
+            par.register(q.clone(), TurboFluxConfig::default());
+            seq.register(q.clone(), TurboFluxConfig::default());
+        }
+        let got_par = collect_batch(&mut par, &ops(), true);
+        let got_seq = collect_batch(&mut seq, &ops(), false);
+        assert_eq!(got_par, got_seq);
+        assert!(!got_par.is_empty());
+        assert_eq!(par.graph().edge_count(), seq.graph().edge_count());
+
+        // Standalone engines applying the ops one by one are the oracle.
+        let mut want = Vec::new();
+        for (id, q) in queries.iter().enumerate() {
+            let mut engine = TurboFlux::new(q.clone(), g0.clone(), TurboFluxConfig::default());
+            for (op_index, op) in ops().iter().enumerate() {
+                engine.apply_op(op, &mut |p, r| want.push((id, op_index, p, r.clone())));
+            }
+        }
+        assert_eq!(got_par, want);
+    }
+
+    #[test]
+    fn deltas_are_ordered_and_graph_advances() {
+        let (g0, queries) = setup();
+        let mut fleet = Fleet::with_threads(g0, 4);
+        for q in queries {
+            fleet.register(q, TurboFluxConfig::default());
+        }
+        let got = collect_batch(&mut fleet, &ops(), true);
+        assert!(
+            got.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            "deltas must be sorted by (engine, op_index)"
+        );
+        // Final graph state: edges 2-8->1, 2-7->1, 3-7->1 and vertex 3.
+        assert_eq!(fleet.graph().vertex_count(), 4);
+        assert_eq!(fleet.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn report_initial_sees_registration_time_state() {
+        let (mut g0, queries) = setup();
+        g0.insert_edge(VertexId(0), l(7), VertexId(1));
+        let mut fleet = Fleet::new(g0);
+        let id = fleet.register(queries[0].clone(), TurboFluxConfig::default());
+        let mut n = 0;
+        fleet.report_initial(id, &mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_batches_and_empty_fleets_are_fine() {
+        let (g0, queries) = setup();
+        let mut fleet = Fleet::with_threads(g0, 8);
+        assert_eq!(fleet.engine_count(), 0);
+        // No engines: the graph still advances.
+        fleet.apply_batch(&ops()[..3], &mut |_| panic!("no engines, no deltas"));
+        assert_eq!(fleet.graph().edge_count(), 3);
+        let id = fleet.register(queries[0].clone(), TurboFluxConfig::default());
+        fleet.apply_batch(&[], &mut |_| panic!("empty batch"));
+        assert_eq!(id, 0);
+    }
+}

@@ -35,9 +35,11 @@
 pub mod config;
 pub mod dcg;
 pub mod engine;
+pub mod fleet;
 mod ops_delete;
 mod ops_insert;
-mod order;
+pub mod order;
+mod scratch;
 mod search;
 pub mod spec;
 pub mod tree_nav;
@@ -45,6 +47,8 @@ pub mod tree_nav;
 pub use config::TurboFluxConfig;
 pub use dcg::{Dcg, EdgeState};
 pub use engine::TurboFlux;
+pub use fleet::{Fleet, FleetDelta};
+pub use order::OrderMaintenance;
 pub use spec::{reference_dcg, DcgImage};
 
 #[cfg(test)]

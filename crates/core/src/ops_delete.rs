@@ -7,60 +7,78 @@
 //! climbed edge only after its recursion returns, and `ClearDCG` runs after
 //! the negatives of its triggering edge were reported.
 
-use tfx_graph::{LabelId, VertexId};
+use tfx_graph::{DynamicGraph, LabelId, VertexId};
 use tfx_query::{MatchRecord, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
+use crate::scratch::SearchScratch;
 use crate::search::SearchCtx;
 
 impl TurboFlux {
-    /// Handles one edge deletion (the edge is still in the data graph).
+    /// Evaluates one edge deletion. The edge must still be present in `g`;
+    /// the caller removes it from the graph *after* this returns
+    /// (externally driven mode; [`TurboFlux::apply_op`] goes through here
+    /// too, against the engine-owned graph).
     ///
     /// Tree-edge invocations run in ascending edge order; combined with the
     /// "minimal triggering edge wins" rule every vanished solution is
     /// reported exactly once, before the DCG region it needs is cleared.
-    pub(crate) fn delete_edge_and_eval(
+    pub fn eval_deleting_edge(
         &mut self,
+        g: &DynamicGraph,
         src: VertexId,
         label: LabelId,
         dst: VertexId,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
-        let (tree_edges, non_tree) = self.matching_query_edges(src, label, dst);
-        let mut m = std::mem::take(&mut self.scratch_m);
-        let mut rec = std::mem::take(&mut self.scratch_rec);
-        debug_assert!(m.iter().all(Option::is_none));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.delete_eval_with(g, src, label, dst, &mut scratch, sink);
+        self.scratch = scratch;
+        self.maybe_adjust_order();
+    }
 
-        for e in tree_edges {
+    fn delete_eval_with(
+        &mut self,
+        g: &DynamicGraph,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        self.matching_query_edges(g, src, label, dst, scratch);
+        debug_assert!(scratch.m.iter().all(Option::is_none));
+
+        for i in 0..scratch.tree_edges.len() {
+            let e = scratch.tree_edges[i];
             // Surviving parallel support: the mapping set does not change
             // via this query edge and the DCG edge stays backed.
-            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
                 continue;
             }
             let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
             let up = self.tree.parent(uc).expect("tree edge child has a parent");
             // Case 2 of Transition 0 — or an earlier tree-edge invocation
             // of this same update already cascade-cleared the edge.
-            if self.dcg.in_count_total(pv, up) == 0
-                || self.dcg.state(pv, uc, cv).is_none()
-            {
+            if self.dcg.in_count_total(pv, up) == 0 || self.dcg.state(pv, uc, cv).is_none() {
                 continue;
             }
             if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
                 && self.match_all_children(pv, up)
             {
                 let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
-                m[uc.index()] = Some(cv);
-                self.clear_upwards(up, pv, Some(uc), &ctx, &mut m, &mut rec, true, sink);
-                m[uc.index()] = None;
+                scratch.m[uc.index()] = Some(cv);
+                self.clear_upwards(g, up, pv, Some(uc), &ctx, true, scratch, sink);
+                scratch.m[uc.index()] = None;
             }
             // Transitions 3/5 downward.
-            self.clear_dcg(Some(pv), uc, cv);
+            self.clear_dcg(Some(pv), uc, cv, scratch);
         }
 
-        for e in non_tree {
-            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+        for i in 0..scratch.non_tree.len() {
+            let e = scratch.non_tree[i];
+            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
                 continue;
             }
             let qe = *self.q.edge(e);
@@ -74,15 +92,13 @@ impl TurboFlux {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
             let looped = qe.src == qe.dst;
             if !looped {
-                m[qe.dst.index()] = Some(dst);
+                scratch.m[qe.dst.index()] = Some(dst);
             }
-            self.clear_upwards(qe.src, src, None, &ctx, &mut m, &mut rec, false, sink);
+            self.clear_upwards(g, qe.src, src, None, &ctx, false, scratch, sink);
             if !looped {
-                m[qe.dst.index()] = None;
+                scratch.m[qe.dst.index()] = None;
             }
         }
-        self.scratch_m = m;
-        self.scratch_rec = rec;
     }
 
     /// `ClearUpwardsAndEval`: climbs toward the start vertices along
@@ -93,16 +109,16 @@ impl TurboFlux {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn clear_upwards(
         &mut self,
+        g: &DynamicGraph,
         u: QVertexId,
         v: VertexId,
         expiring_child: Option<QVertexId>,
         ctx: &SearchCtx,
-        m: &mut Vec<Option<VertexId>>,
-        rec: &mut MatchRecord,
         ft: bool,
+        scratch: &mut SearchScratch,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
-        if let Some(w) = m[u.index()] {
+        if let Some(w) = scratch.m[u.index()] {
             if w != v {
                 debug_assert!(!ft);
                 return;
@@ -110,32 +126,40 @@ impl TurboFlux {
         }
         // Precondition for Transition 4: after this deletion `v` has no
         // explicit outgoing edge labeled `expiring_child` left.
-        let precondition = ft
-            && expiring_child.is_some_and(|uc| self.dcg.out_expl_count(v, uc) == 1);
-        let prev = m[u.index()];
-        m[u.index()] = Some(v);
+        let precondition =
+            ft && expiring_child.is_some_and(|uc| self.dcg.out_expl_count(v, uc) == 1);
+        let prev = scratch.m[u.index()];
+        scratch.m[u.index()] = Some(v);
         let us = self.tree.root();
         if u == us {
             if self.dcg.root_state(v) == Some(EdgeState::Explicit) {
-                self.subgraph_search(0, ctx, m, rec, sink);
+                self.subgraph_search(g, 0, ctx, scratch, sink);
                 if precondition {
                     self.dcg.transit(None, u, v, Some(EdgeState::Implicit));
                 }
             }
         } else {
             let up = self.tree.parent(u).expect("non-root");
-            for (vp, st) in self.dcg.in_edges(v, u) {
+            // Snapshot the in-list: the downgrades below mutate it.
+            let start = scratch.climb.len();
+            scratch.climb.extend_from_slice(self.dcg.in_edge_slice(v, u));
+            let end = scratch.climb.len();
+            let mut i = start;
+            while i < end {
+                let (vp, st) = scratch.climb[i];
+                i += 1;
                 if st != EdgeState::Explicit {
                     continue;
                 }
                 if self.match_all_children(vp, up) {
-                    self.clear_upwards(up, vp, Some(u), ctx, m, rec, precondition, sink);
+                    self.clear_upwards(g, up, vp, Some(u), ctx, precondition, scratch, sink);
                 }
                 if precondition {
                     self.dcg.transit(Some(vp), u, v, Some(EdgeState::Implicit));
                 }
             }
+            scratch.climb.truncate(start);
         }
-        m[u.index()] = prev;
+        scratch.m[u.index()] = prev;
     }
 }

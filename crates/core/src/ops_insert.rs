@@ -1,36 +1,54 @@
 //! `InsertEdgeAndEval` and `BuildUpwardsAndEval` (Algorithms 5 and 6).
 
-use tfx_graph::{LabelId, VertexId};
+use tfx_graph::{DynamicGraph, LabelId, VertexId};
 use tfx_query::{MatchRecord, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
+use crate::scratch::SearchScratch;
 use crate::search::SearchCtx;
 
 impl TurboFlux {
-    /// Handles one edge insertion (the edge is already in the data graph).
+    /// Evaluates one edge insertion already applied to `g` by the caller
+    /// (externally driven mode; [`TurboFlux::apply_op`] goes through here
+    /// too, against the engine-owned graph).
     ///
     /// Tree-edge invocations run first in ascending edge order so the DCG
     /// is fully maintained before non-tree invocations enumerate it; paired
     /// with the "maximal triggering edge wins" rule this reports every new
     /// solution exactly once.
-    pub(crate) fn insert_edge_and_eval(
+    pub fn eval_inserted_edge(
         &mut self,
+        g: &DynamicGraph,
         src: VertexId,
         label: LabelId,
         dst: VertexId,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
-        let (tree_edges, non_tree) = self.matching_query_edges(src, label, dst);
-        let mut m = std::mem::take(&mut self.scratch_m);
-        let mut rec = std::mem::take(&mut self.scratch_rec);
-        debug_assert!(m.iter().all(Option::is_none));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.insert_eval_with(g, src, label, dst, &mut scratch, sink);
+        self.scratch = scratch;
+        self.maybe_adjust_order();
+    }
 
-        for e in tree_edges {
+    fn insert_eval_with(
+        &mut self,
+        g: &DynamicGraph,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        self.matching_query_edges(g, src, label, dst, scratch);
+        debug_assert!(scratch.m.iter().all(Option::is_none));
+
+        for i in 0..scratch.tree_edges.len() {
+            let e = scratch.tree_edges[i];
             // Pre-existing parallel support means the vertex-mapping set is
             // unchanged via this query edge (Transition 0 analogue for
             // multigraphs).
-            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
                 continue;
             }
             let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
@@ -43,20 +61,21 @@ impl TurboFlux {
             // already built this DCG edge (the inserted edge can match
             // several tree edges whose builds overlap).
             if self.dcg.state(pv, uc, cv).is_none() {
-                self.build_dcg(Some(pv), uc, cv);
+                self.build_dcg(g, Some(pv), uc, cv, scratch);
             }
             if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
                 && self.match_all_children(pv, up)
             {
                 let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
-                m[uc.index()] = Some(cv);
-                self.build_upwards(up, pv, &ctx, &mut m, &mut rec, true, sink);
-                m[uc.index()] = None;
+                scratch.m[uc.index()] = Some(cv);
+                self.build_upwards(g, up, pv, &ctx, true, scratch, sink);
+                scratch.m[uc.index()] = None;
             }
         }
 
-        for e in non_tree {
-            if self.g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+        for i in 0..scratch.non_tree.len() {
+            let e = scratch.non_tree[i];
+            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
                 continue;
             }
             let qe = *self.q.edge(e);
@@ -72,17 +91,15 @@ impl TurboFlux {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
             let looped = qe.src == qe.dst;
             if !looped {
-                m[qe.dst.index()] = Some(dst);
+                scratch.m[qe.dst.index()] = Some(dst);
             }
             // Traverse upward from qe.src without modifying the DCG: a
             // non-tree edge never changes intermediate results.
-            self.build_upwards(qe.src, src, &ctx, &mut m, &mut rec, false, sink);
+            self.build_upwards(g, qe.src, src, &ctx, false, scratch, sink);
             if !looped {
-                m[qe.dst.index()] = None;
+                scratch.m[qe.dst.index()] = None;
             }
         }
-        self.scratch_m = m;
-        self.scratch_rec = rec;
     }
 
     /// `BuildUpwardsAndEval`: climbs toward the start vertices along stored
@@ -94,12 +111,12 @@ impl TurboFlux {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_upwards(
         &mut self,
+        g: &DynamicGraph,
         u: QVertexId,
         v: VertexId,
         ctx: &SearchCtx,
-        m: &mut Vec<Option<VertexId>>,
-        rec: &mut MatchRecord,
         ft: bool,
+        scratch: &mut SearchScratch,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
         debug_assert!(self.match_all_children(v, u));
@@ -108,30 +125,38 @@ impl TurboFlux {
         // different data vertex the two constraints contradict and no
         // solution exists along this path. (Transitions are never needed
         // here: the contradiction can only arise with `ft == false`.)
-        if let Some(w) = m[u.index()] {
+        if let Some(w) = scratch.m[u.index()] {
             if w != v {
                 debug_assert!(!ft);
                 return;
             }
         }
-        let prev = m[u.index()];
-        m[u.index()] = Some(v);
+        let prev = scratch.m[u.index()];
+        scratch.m[u.index()] = Some(v);
         let us = self.tree.root();
         if u == us {
             // The single incoming edge is the artificial start edge.
             match self.dcg.root_state(v) {
                 Some(EdgeState::Implicit) if ft => {
                     self.dcg.transit(None, u, v, Some(EdgeState::Explicit));
-                    self.subgraph_search(0, ctx, m, rec, sink);
+                    self.subgraph_search(g, 0, ctx, scratch, sink);
                 }
                 Some(EdgeState::Explicit) => {
-                    self.subgraph_search(0, ctx, m, rec, sink);
+                    self.subgraph_search(g, 0, ctx, scratch, sink);
                 }
                 _ => {}
             }
         } else {
             let up = self.tree.parent(u).expect("non-root");
-            for (vp, st) in self.dcg.in_edges(v, u) {
+            // Snapshot the in-list into the segmented stack: transitions
+            // during the climb mutate the list being iterated.
+            let start = scratch.climb.len();
+            scratch.climb.extend_from_slice(self.dcg.in_edge_slice(v, u));
+            let end = scratch.climb.len();
+            let mut i = start;
+            while i < end {
+                let (vp, st) = scratch.climb[i];
+                i += 1;
                 if st == EdgeState::Implicit {
                     if !ft {
                         continue; // without transitions only explicit paths matter
@@ -139,10 +164,11 @@ impl TurboFlux {
                     self.dcg.transit(Some(vp), u, v, Some(EdgeState::Explicit));
                 }
                 if self.match_all_children(vp, up) {
-                    self.build_upwards(up, vp, ctx, m, rec, ft, sink);
+                    self.build_upwards(g, up, vp, ctx, ft, scratch, sink);
                 }
             }
+            scratch.climb.truncate(start);
         }
-        m[u.index()] = prev;
+        scratch.m[u.index()] = prev;
     }
 }

@@ -7,10 +7,73 @@
 //! the *reversed* removal sequence visits low-fan-out vertices early and
 //! minimizes `Σ c(T_i)`, the number of recursive calls. Removing leaves
 //! only guarantees the parent-before-child property the search requires.
+//!
+//! Drift detection is handled by [`OrderMaintenance`]: the counts the order
+//! was derived from are snapshotted, and after every update the current
+//! counts are compared against that snapshot. By default only counts that
+//! actually changed are examined (the DCG marks them in a dirty bitmask as
+//! part of its normal counter bookkeeping); a count that did not change
+//! since its last check cannot have started drifting, so the incremental
+//! check accepts/rejects exactly the same updates as the full scan. The
+//! full scan is kept behind [`crate::TurboFluxConfig::incremental_drift_check`]
+//! `= false` as an ablation baseline.
 
 use tfx_query::QVertexId;
 
 use crate::engine::TurboFlux;
+
+/// Snapshot-and-compare state for matching-order drift detection.
+#[derive(Default, Debug, Clone)]
+pub struct OrderMaintenance {
+    /// Explicit counts at the time the current matching order was computed.
+    snapshot: Vec<u64>,
+}
+
+impl OrderMaintenance {
+    /// Captures the counts the freshly computed order was derived from.
+    pub fn resnapshot(&mut self, counts: &[u64]) {
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(counts);
+    }
+
+    /// The captured counts (empty before the first [`Self::resnapshot`]).
+    pub fn snapshot(&self) -> &[u64] {
+        &self.snapshot
+    }
+
+    /// The paper's "significant change" predicate for one count: the larger
+    /// side exceeds the floor and the smaller side times `factor`.
+    fn pair_drifted(now: u64, then: u64, factor: f64, floor: u64) -> bool {
+        let (hi, lo) = (now.max(then), now.min(then));
+        hi > floor && hi as f64 > lo as f64 * factor
+    }
+
+    /// Full scan over every query vertex (the ablation baseline).
+    pub fn drifted_full(&self, counts: &[u64], factor: f64, floor: u64) -> bool {
+        counts
+            .iter()
+            .zip(&self.snapshot)
+            .any(|(&now, &then)| Self::pair_drifted(now, then, factor, floor))
+    }
+
+    /// Checks only the query vertices whose bit is set in `dirty`.
+    /// Equivalent to [`Self::drifted_full`] as long as `dirty` covers every
+    /// count changed since its last check: an unchanged count keeps its
+    /// previous (non-drifted) verdict.
+    pub fn drifted_masked(&self, counts: &[u64], mut dirty: u64, factor: f64, floor: u64) -> bool {
+        debug_assert_eq!(counts.len(), self.snapshot.len());
+        while dirty != 0 {
+            let i = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            if i < self.snapshot.len()
+                && Self::pair_drifted(counts[i], self.snapshot[i], factor, floor)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
 
 impl TurboFlux {
     /// Estimated branch factor of `u`: explicit edges labeled `u` per
@@ -36,9 +99,7 @@ impl TurboFlux {
                 .q
                 .vertices()
                 .filter(|&u| u != root && present[u.index()])
-                .filter(|&u| {
-                    self.tree.children(u).iter().all(|c| !present[c.index()])
-                })
+                .filter(|&u| self.tree.children(u).iter().all(|c| !present[c.index()]))
                 .max_by(|&a, &b| {
                     self.branch_factor(a)
                         .partial_cmp(&self.branch_factor(b))
@@ -54,7 +115,9 @@ impl TurboFlux {
         mo.extend(removal.into_iter().rev());
         debug_assert_eq!(mo.len(), n);
         self.mo = mo;
-        self.order_snapshot = self.dcg.expl_counts().to_vec();
+        self.order_maint.resnapshot(self.dcg.expl_counts());
+        // The snapshot is current again; pending dirty bits are moot.
+        self.dcg.take_dirty_expl();
     }
 
     /// `AdjustMatchingOrder`: recomputes the order when any per-vertex
@@ -64,19 +127,84 @@ impl TurboFlux {
         if !self.cfg.adjust_matching_order {
             return;
         }
-        let factor = self.cfg.order_drift_factor;
-        let floor = self.cfg.order_drift_floor;
-        let drifted = self
-            .dcg
-            .expl_counts()
-            .iter()
-            .zip(&self.order_snapshot)
-            .any(|(&now, &then)| {
-                let (hi, lo) = (now.max(then), now.min(then));
-                hi > floor && hi as f64 > lo as f64 * factor
-            });
+        let dirty = self.dcg.take_dirty_expl();
+        if dirty == 0 && self.cfg.incremental_drift_check {
+            return;
+        }
+        let (factor, floor) = (self.cfg.order_drift_factor, self.cfg.order_drift_floor);
+        let counts = self.dcg.expl_counts();
+        let drifted = if self.cfg.incremental_drift_check {
+            self.order_maint.drifted_masked(counts, dirty, factor, floor)
+        } else {
+            self.order_maint.drifted_full(counts, factor, floor)
+        };
         if drifted {
             self.recompute_matching_order();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scan_detects_drift_above_floor_and_factor() {
+        let mut om = OrderMaintenance::default();
+        om.resnapshot(&[10, 100, 0]);
+        // Within factor 2 of the snapshot: no drift.
+        assert!(!om.drifted_full(&[19, 100, 0], 2.0, 4));
+        // Count 0 doubled past the factor and the floor.
+        assert!(om.drifted_full(&[21, 100, 0], 2.0, 4));
+        // Shrinking counts drift symmetrically.
+        assert!(om.drifted_full(&[10, 40, 0], 2.0, 4));
+        // Under the floor nothing drifts, however large the ratio.
+        assert!(!om.drifted_full(&[3, 100, 0], 2.0, 12));
+        assert!(om.drifted_full(&[10, 100, 5], 2.0, 4));
+    }
+
+    #[test]
+    fn masked_scan_only_inspects_dirty_bits() {
+        let mut om = OrderMaintenance::default();
+        om.resnapshot(&[10, 100, 0]);
+        let drifted = [30u64, 100, 0]; // vertex 0 drifted
+        assert!(om.drifted_masked(&drifted, 0b001, 2.0, 4));
+        // A mask excluding the drifted vertex must not report drift (by
+        // contract it is only sound when the excluded counts are
+        // unchanged; this asserts the masking itself).
+        assert!(!om.drifted_masked(&drifted, 0b110, 2.0, 4));
+        assert!(!om.drifted_masked(&drifted, 0, 2.0, 4));
+    }
+
+    #[test]
+    fn masked_equals_full_when_mask_covers_changes() {
+        // Property sweep: for counts derived from the snapshot by changing
+        // an arbitrary subset (= the dirty mask), masked == full.
+        let snapshot = [5u64, 64, 200, 0];
+        let mut om = OrderMaintenance::default();
+        om.resnapshot(&snapshot);
+        let deltas: [i64; 4] = [3, 70, -150, 1];
+        for mask in 0u64..16 {
+            let mut counts = snapshot;
+            for (i, c) in counts.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *c = c.checked_add_signed(deltas[i]).unwrap();
+                }
+            }
+            assert_eq!(
+                om.drifted_masked(&counts, mask, 2.0, 16),
+                om.drifted_full(&counts, 2.0, 16),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn resnapshot_replaces_previous_state() {
+        let mut om = OrderMaintenance::default();
+        om.resnapshot(&[1, 2]);
+        om.resnapshot(&[500, 600]);
+        assert_eq!(om.snapshot(), &[500, 600]);
+        assert!(!om.drifted_full(&[500, 600], 2.0, 0));
     }
 }

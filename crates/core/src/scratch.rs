@@ -1,0 +1,45 @@
+//! Reusable per-engine scratch buffers for the per-update hot path.
+//!
+//! Every update evaluation needs a handful of temporary collections: the
+//! partial embedding, a match record to report through, candidate snapshots
+//! for the recursive `BuildDCG` / `ClearDCG` walks, in-edge snapshots for
+//! the upward climbs, and the lists of query edges matching the updated
+//! data edge. Allocating them per update dominated the cost of small
+//! updates, so they live in one [`SearchScratch`] owned by the engine and
+//! threaded through `search.rs`, `ops_insert.rs` and `ops_delete.rs`.
+//!
+//! The recursive walks use **segmented stacks**: a recursion level records
+//! `buf.len()` on entry, appends its snapshot, iterates it by index (inner
+//! levels only ever append past the segment and truncate back), and
+//! truncates to the recorded length on exit. One long-lived `Vec` thus
+//! serves arbitrarily deep recursion without per-level allocation once its
+//! high-water capacity is reached.
+
+use tfx_graph::VertexId;
+use tfx_query::{EdgeId, MatchRecord};
+
+use crate::dcg::EdgeState;
+
+/// Scratch space reused across updates; see the module docs.
+#[derive(Default, Debug)]
+pub(crate) struct SearchScratch {
+    /// Partial embedding `m : V(q) → V(g)`, indexed by query vertex id.
+    pub(crate) m: Vec<Option<VertexId>>,
+    /// Match record reused across reports.
+    pub(crate) rec: MatchRecord,
+    /// Segmented stack of child candidates (`BuildDCG` / `ClearDCG`).
+    pub(crate) kids: Vec<VertexId>,
+    /// Segmented stack of DCG in-edge snapshots (upward climbs).
+    pub(crate) climb: Vec<(VertexId, EdgeState)>,
+    /// Tree query edges matching the current updated data edge.
+    pub(crate) tree_edges: Vec<EdgeId>,
+    /// Non-tree query edges matching the current updated data edge.
+    pub(crate) non_tree: Vec<EdgeId>,
+}
+
+impl SearchScratch {
+    /// Scratch sized for a query with `nq` vertices.
+    pub(crate) fn for_query(nq: usize) -> Self {
+        SearchScratch { m: vec![None; nq], ..Default::default() }
+    }
+}

@@ -6,6 +6,11 @@
 //! (or by a non-tree-edge invocation) are re-validated instead of
 //! enumerated.
 //!
+//! The data graph is passed in explicitly (instead of read from the engine)
+//! so the same search serves standalone engines and fleet engines sharing
+//! one graph; all mutable temporaries live in the caller-provided
+//! [`SearchScratch`], keeping the recursion allocation-free.
+//!
 //! Duplicate-free reporting: under homomorphism the updated data edge can be
 //! the image of several query edges of one solution, so the same solution
 //! would be reported once per matching query edge. A total order over query
@@ -17,11 +22,12 @@
 //! which is required for correctness when the updated edge matches several
 //! tree edges.
 
-use tfx_graph::{LabelId, VertexId};
+use tfx_graph::{DynamicGraph, LabelId, VertexId};
 use tfx_query::{EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
+use crate::scratch::SearchScratch;
 use crate::tree_nav::data_pair;
 
 /// Per-invocation search context.
@@ -42,7 +48,13 @@ impl SearchCtx {
     }
 
     /// Context for an update-triggered invocation.
-    pub fn update(eq: EdgeId, src: VertexId, label: LabelId, dst: VertexId, p: Positiveness) -> Self {
+    pub fn update(
+        eq: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        p: Positiveness,
+    ) -> Self {
         SearchCtx { eq: Some(eq), updated: Some((src, label, dst)), p }
     }
 }
@@ -55,6 +67,7 @@ impl TurboFlux {
     /// `e_q` for an insertion / deletion respectively.
     pub(crate) fn violates_order(
         &self,
+        g: &DynamicGraph,
         ctx: &SearchCtx,
         e: EdgeId,
         src: VertexId,
@@ -72,7 +85,7 @@ impl TurboFlux {
         }
         // With parallel support beyond the updated edge, `e` does not
         // depend on the update and imposes no ordering constraint.
-        if self.g.count_edges_matching(src, dst, qe.label) != 1 {
+        if g.count_edges_matching(src, dst, qe.label) != 1 {
             return false;
         }
         let (ke, kq) = (self.edge_order_key(e), self.edge_order_key(eq));
@@ -87,6 +100,7 @@ impl TurboFlux {
     /// including the order rule above.
     pub(crate) fn is_joinable(
         &self,
+        g: &DynamicGraph,
         ctx: &SearchCtx,
         u: QVertexId,
         v: VertexId,
@@ -114,10 +128,10 @@ impl TurboFlux {
                     None => continue,
                 }
             };
-            if !self.g.has_edge_matching(src, dst, qe.label) {
+            if !g.has_edge_matching(src, dst, qe.label) {
                 return false;
             }
-            if self.violates_order(ctx, e, src, dst) {
+            if self.violates_order(g, ctx, e, src, dst) {
                 return false;
             }
         }
@@ -128,6 +142,7 @@ impl TurboFlux {
     /// explicit DCG state plus the duplicate-prevention order rule.
     fn tree_binding_ok(
         &self,
+        g: &DynamicGraph,
         ctx: &SearchCtx,
         u: QVertexId,
         vp: VertexId,
@@ -138,46 +153,46 @@ impl TurboFlux {
         }
         let e = self.tree.parent_edge(u).expect("non-root");
         let (src, dst) = data_pair(&self.tree, u, vp, v);
-        !self.violates_order(ctx, e, src, dst)
+        !self.violates_order(g, ctx, e, src, dst)
     }
 
-    /// `SubgraphSearch` (Algorithm 7). `m` must have the starting query
-    /// vertex bound; `rec` is a scratch record reused across reports.
-    /// Reports `(ctx.p, record)` for every complete solution.
+    /// `SubgraphSearch` (Algorithm 7). `scratch.m` must have the starting
+    /// query vertex bound; `scratch.rec` is reused across reports. Reports
+    /// `(ctx.p, record)` for every complete solution.
     pub(crate) fn subgraph_search(
         &self,
+        g: &DynamicGraph,
         depth: usize,
         ctx: &SearchCtx,
-        m: &mut Vec<Option<VertexId>>,
-        rec: &mut MatchRecord,
+        scratch: &mut SearchScratch,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
         if self.deadline_exceeded() {
             return;
         }
         if depth == self.mo.len() {
-            rec.fill_from_partial(m);
-            sink(ctx.p, rec);
+            scratch.rec.fill_from_partial(&scratch.m);
+            sink(ctx.p, &scratch.rec);
             return;
         }
         let u = self.mo[depth];
         let us = self.tree.root();
-        if let Some(v) = m[u.index()] {
+        if let Some(v) = scratch.m[u.index()] {
             // Pre-bound vertex (upward traversal / non-tree invocation):
             // re-validate instead of enumerating.
             let ok = if u == us {
                 self.dcg.root_state(v) == Some(EdgeState::Explicit)
             } else {
-                let vp = m[self.tree.parent(u).expect("non-root").index()]
+                let vp = scratch.m[self.tree.parent(u).expect("non-root").index()]
                     .expect("parent precedes child in matching order");
-                self.tree_binding_ok(ctx, u, vp, v)
+                self.tree_binding_ok(g, ctx, u, vp, v)
             };
-            if ok && self.is_joinable(ctx, u, v, m) {
-                self.subgraph_search(depth + 1, ctx, m, rec, sink);
+            if ok && self.is_joinable(g, ctx, u, v, &scratch.m) {
+                self.subgraph_search(g, depth + 1, ctx, scratch, sink);
             }
         } else {
             debug_assert_ne!(u, us, "the starting vertex is always pre-bound");
-            let vp = m[self.tree.parent(u).expect("non-root").index()]
+            let vp = scratch.m[self.tree.parent(u).expect("non-root").index()]
                 .expect("parent precedes child in matching order");
             // The slice borrow only needs `&self`; enumeration never
             // mutates the DCG, so no candidate buffer is required.
@@ -189,15 +204,15 @@ impl TurboFlux {
                 // order rule remains to check for the tree binding.
                 let e = self.tree.parent_edge(u).expect("non-root");
                 let (src, dst) = data_pair(&self.tree, u, vp, v);
-                if self.violates_order(ctx, e, src, dst) {
+                if self.violates_order(g, ctx, e, src, dst) {
                     continue;
                 }
-                if !self.is_joinable(ctx, u, v, m) {
+                if !self.is_joinable(g, ctx, u, v, &scratch.m) {
                     continue;
                 }
-                m[u.index()] = Some(v);
-                self.subgraph_search(depth + 1, ctx, m, rec, sink);
-                m[u.index()] = None;
+                scratch.m[u.index()] = Some(v);
+                self.subgraph_search(g, depth + 1, ctx, scratch, sink);
+                scratch.m[u.index()] = None;
             }
         }
     }

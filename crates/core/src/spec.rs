@@ -42,10 +42,8 @@ pub fn reference_dcg(g: &DynamicGraph, q: &QueryGraph, tree: &QueryTree) -> DcgI
             cand[root.index()].insert(v);
         }
     }
-    let mut edges: Vec<(Option<VertexId>, u32, VertexId)> = cand[root.index()]
-        .iter()
-        .map(|&v| (None, root.0, v))
-        .collect();
+    let mut edges: Vec<(Option<VertexId>, u32, VertexId)> =
+        cand[root.index()].iter().map(|&v| (None, root.0, v)).collect();
     for &u in &tree.bfs_order()[1..] {
         let parent = tree.parent(u).expect("non-root");
         let parents: Vec<VertexId> = cand[parent.index()].iter().copied().collect();
@@ -76,10 +74,8 @@ pub fn reference_dcg(g: &DynamicGraph, q: &QueryGraph, tree: &QueryTree) -> DcgI
     for level in by_depth.iter().rev() {
         for &(pv, u, cv) in level {
             let uq = tfx_query::QVertexId(u);
-            let all_children_explicit = tree
-                .children(uq)
-                .iter()
-                .all(|&uc| has_expl_out.contains(&(cv, uc.0)));
+            let all_children_explicit =
+                tree.children(uq).iter().all(|&uc| has_expl_out.contains(&(cv, uc.0)));
             let st = if all_children_explicit {
                 if let Some(p) = pv {
                     has_expl_out.insert((p, u));

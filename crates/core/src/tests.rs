@@ -215,7 +215,8 @@ fn random_case(rng: &mut Rng, cyclic: bool) -> RandomCase {
     for i in 1..nq as u32 {
         let other = rng.below(i as usize) as u32;
         let (s, d) = if rng.below(2) == 0 { (other, i) } else { (i, other) };
-        let label = if rng.below(5) == 0 { None } else { Some(l(10 + rng.below(n_elabels) as u32)) };
+        let label =
+            if rng.below(5) == 0 { None } else { Some(l(10 + rng.below(n_elabels) as u32)) };
         q.add_edge(tfx_query::QVertexId(s), tfx_query::QVertexId(d), label);
     }
     if cyclic {
@@ -384,10 +385,9 @@ fn new_vertex_becomes_start_candidate() {
     let (g, q) = fig4();
     let nv = v(g.vertex_count() as u32);
     let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
-    engine.apply(
-        &UpdateOp::AddVertex { id: nv, labels: LabelSet::single(l(0)) },
-        &mut |_, _| panic!("vertex arrival cannot create matches"),
-    );
+    engine.apply(&UpdateOp::AddVertex { id: nv, labels: LabelSet::single(l(0)) }, &mut |_, _| {
+        panic!("vertex arrival cannot create matches")
+    });
     assert_eq!(engine.dcg().root_state(nv), Some(EdgeState::Implicit));
     assert_dcg_matches_reference(&engine);
 }
@@ -483,9 +483,8 @@ fn order_adjustment_never_changes_results() {
     for i in 0..40 {
         g.add_vertex(LabelSet::single(l(1 + i % 2)));
     }
-    let ops: Vec<UpdateOp> = (1..=40u32)
-        .map(|i| UpdateOp::InsertEdge { src: a, label: l(9), dst: v(i) })
-        .collect();
+    let ops: Vec<UpdateOp> =
+        (1..=40u32).map(|i| UpdateOp::InsertEdge { src: a, label: l(9), dst: v(i) }).collect();
 
     let adj = TurboFluxConfig { order_drift_floor: 1, ..TurboFluxConfig::default() };
     let fixed = TurboFluxConfig { adjust_matching_order: false, ..TurboFluxConfig::default() };

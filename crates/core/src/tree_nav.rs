@@ -11,7 +11,12 @@ use tfx_query::{QVertexId, QueryGraph, QueryTree};
 
 /// The directed data pair `(src, dst)` backing DCG edge `(pv, u, cv)`.
 #[inline]
-pub fn data_pair(tree: &QueryTree, u: QVertexId, pv: VertexId, cv: VertexId) -> (VertexId, VertexId) {
+pub fn data_pair(
+    tree: &QueryTree,
+    u: QVertexId,
+    pv: VertexId,
+    cv: VertexId,
+) -> (VertexId, VertexId) {
     if tree.child_is_target(u) {
         (pv, cv)
     } else {
@@ -72,6 +77,36 @@ pub fn for_each_child_candidate(
             }
         }
     }
+}
+
+/// Appends every child candidate of `(u, pv)` (see
+/// [`for_each_child_candidate`]) to `buf`, then sorts and dedups the
+/// appended tail segment in place. Returns the segment's start index.
+///
+/// `buf` is a segmented scratch stack: callers iterate `buf[start..]` by
+/// index and truncate back to `start` when done, so recursive use never
+/// allocates once the stack's high-water capacity is reached.
+pub fn collect_child_candidates(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    pv: VertexId,
+    buf: &mut Vec<VertexId>,
+) -> usize {
+    let start = buf.len();
+    for_each_child_candidate(g, q, tree, u, pv, &mut |w| buf.push(w));
+    buf[start..].sort_unstable();
+    // Dedup the tail segment in place (Vec::dedup would scan the prefix).
+    let mut write = start;
+    for read in start..buf.len() {
+        if write == start || buf[write - 1] != buf[read] {
+            buf[write] = buf[read];
+            write += 1;
+        }
+    }
+    buf.truncate(write);
+    start
 }
 
 /// Calls `f` with every data vertex `pv` such that the DCG edge
@@ -164,6 +199,22 @@ mod tests {
         let mut parents = Vec::new();
         for_each_parent_candidate(&g, &q, &tree, u2, VertexId(2), &mut |v| parents.push(v));
         assert_eq!(parents, vec![VertexId(0)]);
+    }
+
+    #[test]
+    fn collect_candidates_dedups_tail_segment_only() {
+        let (mut g, q, tree) = setup();
+        // Add a parallel edge so vertex 1 is reported twice by the
+        // callback-based enumeration.
+        g.insert_edge(VertexId(0), l(9), VertexId(1));
+        let u1 = QVertexId(1);
+        let mut buf = vec![VertexId(77)]; // pre-existing segment below
+        let start = collect_child_candidates(&g, &q, &tree, u1, VertexId(0), &mut buf);
+        assert_eq!(start, 1);
+        assert_eq!(&buf[start..], &[VertexId(1)], "parallel edges deduped");
+        assert_eq!(buf[0], VertexId(77), "prefix untouched");
+        buf.truncate(start);
+        assert_eq!(buf, vec![VertexId(77)]);
     }
 
     #[test]

@@ -91,23 +91,26 @@ pub fn generate(cfg: &LsBenchConfig) -> Dataset {
     let mut vertex_labels: Vec<LabelSet> = Vec::new();
     let mut vertex_types: Vec<usize> = Vec::new();
     let new_vertex = |ty: usize,
-                          vertex_labels: &mut Vec<LabelSet>,
-                          vertex_types: &mut Vec<usize>,
-                          schema: &Schema| {
+                      vertex_labels: &mut Vec<LabelSet>,
+                      vertex_types: &mut Vec<usize>,
+                      schema: &Schema| {
         vertex_labels.push(schema.type_label_set(ty));
         vertex_types.push(ty);
         VertexId((vertex_labels.len() - 1) as u32)
     };
 
-    let users: Vec<VertexId> =
-        (0..n_users).map(|_| new_vertex(t.user, &mut vertex_labels, &mut vertex_types, &schema)).collect();
+    let users: Vec<VertexId> = (0..n_users)
+        .map(|_| new_vertex(t.user, &mut vertex_labels, &mut vertex_types, &schema))
+        .collect();
     let channels: Vec<VertexId> = (0..n_channels)
         .map(|_| new_vertex(t.channel, &mut vertex_labels, &mut vertex_types, &schema))
         .collect();
-    let tags: Vec<VertexId> =
-        (0..n_tags).map(|_| new_vertex(t.tag, &mut vertex_labels, &mut vertex_types, &schema)).collect();
-    let cities: Vec<VertexId> =
-        (0..n_cities).map(|_| new_vertex(t.city, &mut vertex_labels, &mut vertex_types, &schema)).collect();
+    let tags: Vec<VertexId> = (0..n_tags)
+        .map(|_| new_vertex(t.tag, &mut vertex_labels, &mut vertex_types, &schema))
+        .collect();
+    let cities: Vec<VertexId> = (0..n_cities)
+        .map(|_| new_vertex(t.city, &mut vertex_labels, &mut vertex_types, &schema))
+        .collect();
 
     let mut edges: Vec<(VertexId, tfx_graph::LabelId, VertexId)> = Vec::new();
     // Preferential-attachment pool for `knows`: every edge feeds both
@@ -212,10 +215,8 @@ mod tests {
         let d = generate(&LsBenchConfig { users: 50, seed: 3, stream_frac: 0.1 });
         let user = d.interner.get("User").unwrap();
         let post = d.interner.get("Post").unwrap();
-        let n_users =
-            d.g0.vertices().filter(|&v| d.g0.labels(v).contains(user)).count();
-        let n_posts =
-            d.g0.vertices().filter(|&v| d.g0.labels(v).contains(post)).count();
+        let n_users = d.g0.vertices().filter(|&v| d.g0.labels(v).contains(user)).count();
+        let n_posts = d.g0.vertices().filter(|&v| d.g0.labels(v).contains(post)).count();
         assert_eq!(n_users, 50);
         assert!(n_posts > 20);
         assert!(d.interner.get("knows").is_some());

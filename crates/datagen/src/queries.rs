@@ -49,11 +49,8 @@ impl Builder {
         let rels = schema.incident_relations(ty);
         let r = *rng.pick(&rels);
         // A self-relation can extend in either direction.
-        let outward = if r.src_type == ty && r.dst_type == ty {
-            rng.below(2) == 0
-        } else {
-            r.src_type == ty
-        };
+        let outward =
+            if r.src_type == ty && r.dst_type == ty { rng.below(2) == 0 } else { r.src_type == ty };
         if outward {
             let nv = self.add_vertex(schema, r.dst_type);
             self.q.add_edge_dedup(at, nv, Some(r.label));

@@ -71,20 +71,12 @@ impl Schema {
 
     /// Relations incident (either direction) to type `t`.
     pub fn incident_relations(&self, t: usize) -> Vec<Relation> {
-        self.relations
-            .iter()
-            .copied()
-            .filter(|r| r.src_type == t || r.dst_type == t)
-            .collect()
+        self.relations.iter().copied().filter(|r| r.src_type == t || r.dst_type == t).collect()
     }
 
     /// Relations from `t` to itself (usable for cycles of one type).
     pub fn self_relations(&self, t: usize) -> Vec<Relation> {
-        self.relations
-            .iter()
-            .copied()
-            .filter(|r| r.src_type == t && r.dst_type == t)
-            .collect()
+        self.relations.iter().copied().filter(|r| r.src_type == t && r.dst_type == t).collect()
     }
 }
 

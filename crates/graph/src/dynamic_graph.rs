@@ -307,7 +307,11 @@ mod tests {
         assert!(g.apply(&UpdateOp::AddVertex { id: VertexId(1), labels: LabelSet::empty() }));
         assert!(g.apply(&UpdateOp::InsertEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
         assert!(g.apply(&UpdateOp::DeleteEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
-        assert!(!g.apply(&UpdateOp::DeleteEdge { src: VertexId(0), label: l(0), dst: VertexId(1) }));
+        assert!(!g.apply(&UpdateOp::DeleteEdge {
+            src: VertexId(0),
+            label: l(0),
+            dst: VertexId(1)
+        }));
         assert_eq!(g.edge_count(), 0);
     }
 

@@ -88,8 +88,7 @@ impl<'a> Search<'a> {
         }
         let (_, pivot, follow_out, label) =
             best.expect("connected matching order guarantees a mapped neighbor");
-        let adj =
-            if follow_out { self.g.out_neighbors(pivot) } else { self.g.in_neighbors(pivot) };
+        let adj = if follow_out { self.g.out_neighbors(pivot) } else { self.g.in_neighbors(pivot) };
         let mut out: Vec<VertexId> = adj
             .iter()
             .filter(|&&(_, dl)| label.is_none_or(|ql| ql == dl))

@@ -22,10 +22,7 @@ pub fn matching_order(g: &DynamicGraph, q: &QueryGraph) -> Vec<QVertexId> {
 
     let mut order = Vec::with_capacity(n);
     let mut chosen = vec![false; n];
-    let first = q
-        .vertices()
-        .min_by_key(|u| (card[u.index()], u.index()))
-        .expect("non-empty query");
+    let first = q.vertices().min_by_key(|u| (card[u.index()], u.index())).expect("non-empty query");
     order.push(first);
     chosen[first.index()] = true;
 
@@ -34,10 +31,7 @@ pub fn matching_order(g: &DynamicGraph, q: &QueryGraph) -> Vec<QVertexId> {
             .vertices()
             .filter(|&u| !chosen[u.index()])
             .filter(|&u| {
-                q.out_adj(u)
-                    .iter()
-                    .chain(q.in_adj(u).iter())
-                    .any(|&(w, _)| chosen[w.index()])
+                q.out_adj(u).iter().chain(q.in_adj(u).iter()).any(|&(w, _)| chosen[w.index()])
             })
             .min_by_key(|u| (card[u.index()], u.index()))
             .expect("connected query always has an adjacent unchosen vertex");

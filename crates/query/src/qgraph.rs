@@ -194,7 +194,14 @@ impl QueryGraph {
     /// edge `e = (u, u')`? Checks the edge label and both endpoint label
     /// sets; a self-loop query edge only matches a data self-loop (both
     /// endpoints are images of the same query vertex).
-    pub fn edge_matches(&self, g: &DynamicGraph, e: EdgeId, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+    pub fn edge_matches(
+        &self,
+        g: &DynamicGraph,
+        e: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+    ) -> bool {
         let qe = self.edge(e);
         (qe.src != qe.dst || src == dst)
             && qe.label.is_none_or(|ql| ql == label)

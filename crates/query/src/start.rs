@@ -24,11 +24,9 @@ pub fn choose_start_vertex(q: &QueryGraph, stats: &GraphStats<'_>) -> QVertexId 
     let (best_edge, _) = q
         .edges()
         .iter()
-        .map(|e| {
-            match stats.matching_edge_count(q.labels(e.src), e.label, q.labels(e.dst)) {
-                0 => usize::MAX,
-                n => n,
-            }
+        .map(|e| match stats.matching_edge_count(q.labels(e.src), e.label, q.labels(e.dst)) {
+            0 => usize::MAX,
+            n => n,
         })
         .enumerate()
         .min_by_key(|&(i, c)| (c, i))

@@ -84,10 +84,8 @@ impl QueryTree {
         // "parent precedes child". Re-sort by depth for a true BFS order.
         bfs_order.sort_by_key(|u| depth[u.index()]);
 
-        let non_tree_edges = (0..q.edge_count() as u32)
-            .map(EdgeId)
-            .filter(|e| !is_tree_edge[e.index()])
-            .collect();
+        let non_tree_edges =
+            (0..q.edge_count() as u32).map(EdgeId).filter(|e| !is_tree_edge[e.index()]).collect();
 
         QueryTree {
             root,

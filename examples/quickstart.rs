@@ -55,10 +55,8 @@ fn main() {
     // New vertices can arrive mid-stream.
     println!("a new colleague joins");
     let lin = VertexId(3);
-    engine.apply(
-        &UpdateOp::AddVertex { id: lin, labels: LabelSet::single(person) },
-        &mut on_report,
-    );
+    engine
+        .apply(&UpdateOp::AddVertex { id: lin, labels: LabelSet::single(person) }, &mut on_report);
     engine.apply(&UpdateOp::InsertEdge { src: lin, label: works_at, dst: acme }, &mut on_report);
     engine.apply(&UpdateOp::InsertEdge { src: ada, label: knows, dst: lin }, &mut on_report);
 

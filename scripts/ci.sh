@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, tests, bench compile.
+# Run from the repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (workspace, -D warnings) ==="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --offline --release
+
+echo "=== cargo test (workspace) ==="
+cargo test --offline --workspace -q
+
+echo "=== cargo bench --no-run ==="
+cargo bench --offline --no-run -p tfx-bench
+
+echo "ci: all green"

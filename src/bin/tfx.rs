@@ -98,9 +98,7 @@ fn parse_op(line: &str, lineno: usize, it: &mut LabelInterner) -> Result<Option<
             let src = parse_vertex(parts.next())?;
             let dst = parse_vertex(parts.next())?;
             let label = it.intern(
-                parts
-                    .next()
-                    .ok_or_else(|| format!("line {lineno}: edge ops need a label"))?,
+                parts.next().ok_or_else(|| format!("line {lineno}: edge ops need a label"))?,
             );
             if parts.next().is_some() {
                 return Err(format!("line {lineno}: trailing tokens"));
@@ -163,8 +161,7 @@ fn main() -> ExitCode {
         q.edge_count(),
         opts.semantics,
     );
-    let mut engine =
-        TurboFlux::new(q, g0, TurboFluxConfig::with_semantics(opts.semantics));
+    let mut engine = TurboFlux::new(q, g0, TurboFluxConfig::with_semantics(opts.semantics));
 
     let quiet = opts.quiet;
     let mut initial = 0u64;

@@ -56,11 +56,12 @@ pub use tfx_graph as graph;
 pub use tfx_match as matcher;
 pub use tfx_query as query;
 
-pub use tfx_core::{TurboFlux, TurboFluxConfig};
+pub use tfx_core::fleet;
+pub use tfx_core::{Fleet, FleetDelta, TurboFlux, TurboFluxConfig};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use tfx_core::{TurboFlux, TurboFluxConfig};
+    pub use tfx_core::{Fleet, FleetDelta, TurboFlux, TurboFluxConfig};
     pub use tfx_graph::{
         DynamicGraph, LabelId, LabelInterner, LabelSet, UpdateOp, UpdateStream, VertexId,
     };

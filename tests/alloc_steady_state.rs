@@ -1,0 +1,104 @@
+//! Proves the per-update hot path is allocation-free in steady state: after
+//! a warm-up pass grows every scratch buffer and adjacency list to its
+//! high-water capacity, repeating the same insert/delete cycles must hit
+//! the global allocator zero times.
+//!
+//! This file contains a single test because the counting `#[global_allocator]`
+//! is process-wide: a concurrent test allocating on another thread would
+//! pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use turboflux::prelude::*;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Frees are fine in steady state; only acquisitions are counted.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A 3-vertex query (path with a back non-tree edge once closed by data)
+/// over a small dense-ish graph, driven through repeated insert/delete
+/// cycles that produce real positive and negative matches every cycle.
+#[test]
+fn steady_state_updates_do_not_allocate() {
+    let mut g = DynamicGraph::new();
+    for i in 0..8u32 {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    // Static backbone so the DCG has standing partial results.
+    for i in 0..8u32 {
+        g.insert_edge(VertexId(i), LabelId(10), VertexId((i + 1) % 8));
+    }
+
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(LabelId(0)));
+    let u1 = q.add_vertex(LabelSet::single(LabelId(1)));
+    let u2 = q.add_vertex(LabelSet::single(LabelId(0)));
+    q.add_edge(u0, u1, Some(LabelId(10)));
+    q.add_edge(u1, u2, Some(LabelId(10)));
+    q.add_edge(u0, u2, Some(LabelId(11))); // becomes a non-tree edge
+
+    let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
+
+    // One cycle: close the triangle edge (positive matches), add another
+    // tree-matching edge, then delete both (negative matches).
+    let cycle = [
+        UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(11), dst: VertexId(2) },
+        UpdateOp::InsertEdge { src: VertexId(2), label: LabelId(10), dst: VertexId(5) },
+        UpdateOp::DeleteEdge { src: VertexId(2), label: LabelId(10), dst: VertexId(5) },
+        UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(11), dst: VertexId(2) },
+    ];
+
+    let mut matches = 0usize;
+    let run_cycles = |engine: &mut TurboFlux, n: usize, matches: &mut usize| {
+        for _ in 0..n {
+            for op in &cycle {
+                engine.apply(op, &mut |_, _| *matches += 1);
+            }
+        }
+    };
+
+    // Warm-up: reach every code path's high-water scratch capacity.
+    run_cycles(&mut engine, 8, &mut matches);
+    assert!(matches > 0, "warm-up must produce matches, or the test is vacuous");
+
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    run_cycles(&mut engine, 64, &mut matches);
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(during, 0, "steady-state insert/delete cycles must not allocate");
+}

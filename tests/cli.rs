@@ -17,11 +17,7 @@ fn write(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf
 fn cli_streams_matches_end_to_end() {
     let dir = std::env::temp_dir().join(format!("tfx-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
-    let graph = write(
-        &dir,
-        "g.txt",
-        "v 0 Person\nv 1 Person\nv 2 Company\ne 0 2 worksAt\n",
-    );
+    let graph = write(&dir, "g.txt", "v 0 Person\nv 1 Person\nv 2 Company\ne 0 2 worksAt\n");
     let query = write(
         &dir,
         "q.txt",

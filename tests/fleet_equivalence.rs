@@ -1,0 +1,159 @@
+//! Randomized equivalence oracle for the multi-query fleet: for arbitrary
+//! scenarios (K queries, one shared stream of inserts / deletes / vertex
+//! additions), the parallel batched evaluation, the sequential batched
+//! evaluation, and K standalone engines applying the ops one by one must
+//! produce exactly the same delta sequence — same matches, same order —
+//! under both homomorphism and isomorphism semantics.
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+use turboflux::FleetDelta;
+
+type Delta = (usize, usize, Positiveness, MatchRecord);
+
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    queries: Vec<QueryGraph>,
+    ops: Vec<UpdateOp>,
+}
+
+fn random_scenario(rng: &mut Pcg32) -> Scenario {
+    let nv = 3 + rng.below(4) as u32;
+    let mut g = DynamicGraph::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for _ in 0..rng.below(6) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        g.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
+    }
+
+    let nqueries = 2 + rng.below(3); // 2..=4 engines
+    let queries: Vec<QueryGraph> = (0..nqueries)
+        .map(|_| {
+            let nq = 2 + rng.below(3) as u32;
+            random_query(rng, nq)
+        })
+        .collect();
+
+    // A mixed op sequence over a growing vertex set. `live` mirrors the
+    // graph so deletes mostly hit real edges (misses are exercised too).
+    let mut ops = Vec::new();
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let mut vertices = nv;
+    for _ in 0..(6 + rng.below(10)) {
+        match rng.below(10) {
+            0 => {
+                // Explicit vertex addition.
+                ops.push(UpdateOp::AddVertex {
+                    id: VertexId(vertices),
+                    labels: LabelSet::single(LabelId(rng.below(2) as u32)),
+                });
+                vertices += 1;
+            }
+            1 => {
+                // Insert touching a brand-new (implicitly created) vertex.
+                let a = VertexId(rng.below(vertices as usize) as u32);
+                let b = VertexId(vertices);
+                vertices += 1;
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+            2..=4 if !live.is_empty() => {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            }
+            _ => {
+                let a = VertexId(rng.below(vertices as usize) as u32);
+                let b = VertexId(rng.below(vertices as usize) as u32);
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b)); // duplicates allowed: exercises skips
+            }
+        }
+    }
+    Scenario { g0: g, queries, ops }
+}
+
+fn standalone_deltas(s: &Scenario, cfg: &TurboFluxConfig) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for (id, q) in s.queries.iter().enumerate() {
+        let mut engine = TurboFlux::new(q.clone(), s.g0.clone(), *cfg);
+        for (op_index, op) in s.ops.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| out.push((id, op_index, p, r.clone())));
+        }
+    }
+    out
+}
+
+fn fleet_deltas(s: &Scenario, cfg: &TurboFluxConfig, threads: usize, parallel: bool) -> Vec<Delta> {
+    let mut fleet = Fleet::with_threads(s.g0.clone(), threads);
+    for q in &s.queries {
+        fleet.register(q.clone(), *cfg);
+    }
+    let mut out = Vec::new();
+    let mut sink = |d: FleetDelta<'_>| {
+        out.push((d.engine, d.op_index, d.positiveness, d.record.clone()));
+    };
+    if parallel {
+        fleet.apply_batch(&s.ops, &mut sink);
+    } else {
+        fleet.apply_batch_sequential(&s.ops, &mut sink);
+    }
+    out
+}
+
+fn run(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    let cfg = TurboFluxConfig { semantics, ..TurboFluxConfig::default() };
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    for _ in 0..60 {
+        let s = random_scenario(&mut rng);
+        if s.queries.iter().any(|q| q.edge_count() == 0 || !q.is_connected()) {
+            continue;
+        }
+        exercised += 1;
+        let want = standalone_deltas(&s, &cfg);
+        let seq = fleet_deltas(&s, &cfg, 1, false);
+        let par = fleet_deltas(&s, &cfg, 4, true);
+        assert_eq!(seq, want, "sequential fleet != standalone engines");
+        assert_eq!(par, want, "parallel fleet != standalone engines");
+        if !want.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 20, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 5, "only {nonempty} scenarios produced matches");
+}
+
+#[test]
+fn fleet_matches_standalone_homomorphism() {
+    run(0xF1EE7, MatchSemantics::Homomorphism);
+}
+
+#[test]
+fn fleet_matches_standalone_isomorphism() {
+    run(0x150_F1EE7, MatchSemantics::Isomorphism);
+}

@@ -8,10 +8,7 @@ use turboflux::baselines::{Graphflow, IncIsoMat, NaiveRecompute, SjTree};
 use turboflux::datagen::{lsbench, netflow, queries, LsBenchConfig, NetflowConfig, Pcg32};
 use turboflux::prelude::*;
 
-fn drive(
-    engine: &mut dyn ContinuousMatcher,
-    stream: &UpdateStream,
-) -> (u64, u64, u64) {
+fn drive(engine: &mut dyn ContinuousMatcher, stream: &UpdateStream) -> (u64, u64, u64) {
     let mut initial = 0u64;
     engine.initial_matches(&mut |_| initial += 1);
     let (mut pos, mut neg) = (0u64, 0u64);
@@ -67,12 +64,7 @@ fn lsbench_cyclic_query_with_deletions() {
 
 #[test]
 fn netflow_unlabeled_vertices_all_engines_agree() {
-    let d = netflow::generate(&NetflowConfig {
-        hosts: 40,
-        flows: 400,
-        seed: 13,
-        stream_frac: 0.2,
-    });
+    let d = netflow::generate(&NetflowConfig { hosts: 40, flows: 400, seed: 13, stream_frac: 0.2 });
     let mut rng = Pcg32::new(21);
     let q = queries::random_path_query(&d.schema, 3, &mut rng);
     let expected = drive(

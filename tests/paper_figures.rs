@@ -115,8 +115,7 @@ fn turboflux_reports_0_then_200_positive_matches() {
     assert_eq!(reports.len(), 200, "Δo2 incurs 200 positive matches");
     assert!(reports.iter().all(|(p, _)| *p == Positiveness::Positive));
     // 100 map u0 -> v0 and 100 map u0 -> v1; all map u3 -> v104, u4 -> v414.
-    let with_v0 =
-        reports.iter().filter(|(_, m)| m.get(QVertexId(0)) == VertexId(0)).count();
+    let with_v0 = reports.iter().filter(|(_, m)| m.get(QVertexId(0)) == VertexId(0)).count();
     assert_eq!(with_v0, 100);
     for (_, m) in &reports {
         assert_eq!(m.get(QVertexId(1)), VertexId(2));
@@ -139,8 +138,7 @@ fn dcg_stores_213_214_215_edges() {
 #[test]
 fn sj_tree_materializes_11311_22412_22613_partial_solutions() {
     let f = build_fig1();
-    let mut engine =
-        turboflux::baselines::SjTree::new(f.q, f.g0, MatchSemantics::Homomorphism);
+    let mut engine = turboflux::baselines::SjTree::new(f.q, f.g0, MatchSemantics::Homomorphism);
     assert_eq!(engine.materialized_tuples(), 11_311, "Figure 2b (g0)");
 
     let mut n = 0;
@@ -183,8 +181,7 @@ fn graphflow_and_incisomat_agree_on_the_figure() {
 fn storage_gap_matches_the_figure() {
     let f = build_fig1();
     let mut tf = TurboFlux::new(f.q.clone(), f.g0.clone(), TurboFluxConfig::default());
-    let mut sj =
-        turboflux::baselines::SjTree::new(f.q, f.g0, MatchSemantics::Homomorphism);
+    let mut sj = turboflux::baselines::SjTree::new(f.q, f.g0, MatchSemantics::Homomorphism);
     for op in [&f.do1, &f.do2] {
         tf.apply(op, &mut |_, _| {});
         sj.apply(op, &mut |_, _| {});

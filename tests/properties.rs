@@ -1,46 +1,52 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! engine's key invariants:
+//! Randomized property tests over the core data structures and the
+//! engine's key invariants (formerly proptest-based; rewritten as
+//! deterministic Pcg32-driven loops because the build environment cannot
+//! fetch external crates):
 //!
 //! * `LabelSet` behaves like a mathematical set (subset laws),
 //! * update streams replay cleanly and truncation is prefix-monotone,
-//! * applying a random insert burst and then deleting it in any order
+//! * applying a random insert burst and then deleting it in reverse
 //!   returns the DCG and the match set to their initial state,
 //! * engine reports are exactly the oracle's set difference for arbitrary
 //!   op sequences.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
 use turboflux::matcher::match_set;
 use turboflux::prelude::*;
 
-fn label_set_strategy() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(0u32..12, 0..6)
+fn random_label_set(rng: &mut Pcg32) -> LabelSet {
+    let n = rng.below(6);
+    (0..n).map(|_| LabelId(rng.below(12) as u32)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn label_set_subset_laws(a in label_set_strategy(), b in label_set_strategy()) {
-        let sa = LabelSet::from_labels(a.iter().map(|&i| LabelId(i)).collect());
-        let sb = LabelSet::from_labels(b.iter().map(|&i| LabelId(i)).collect());
-        let union: LabelSet =
-            sa.iter().chain(sb.iter()).collect();
+#[test]
+fn label_set_subset_laws() {
+    let mut rng = Pcg32::new(0x5e7);
+    for _ in 0..64 {
+        let sa = random_label_set(&mut rng);
+        let sb = random_label_set(&mut rng);
+        let union: LabelSet = sa.iter().chain(sb.iter()).collect();
         // a ⊆ a ∪ b, b ⊆ a ∪ b, a ⊆ a.
-        prop_assert!(sa.is_subset_of(&union));
-        prop_assert!(sb.is_subset_of(&union));
-        prop_assert!(sa.is_subset_of(&sa));
+        assert!(sa.is_subset_of(&union));
+        assert!(sb.is_subset_of(&union));
+        assert!(sa.is_subset_of(&sa));
         // subset agrees with element-wise containment
         let subset = sa.iter().all(|l| sb.contains(l));
-        prop_assert_eq!(sa.is_subset_of(&sb), subset);
+        assert_eq!(sa.is_subset_of(&sb), subset);
         // transitivity via union: a ⊆ b implies a ∪ b == b (as sets)
         if sa.is_subset_of(&sb) {
-            prop_assert_eq!(union.as_slice(), sb.as_slice());
+            assert_eq!(union.as_slice(), sb.as_slice());
         }
     }
+}
 
-    #[test]
-    fn stream_truncation_is_a_prefix(n in 0usize..20, keep in 0usize..20) {
+#[test]
+fn stream_truncation_is_a_prefix() {
+    let mut rng = Pcg32::new(0x7ab);
+    for _ in 0..64 {
+        let n = rng.below(20);
+        let keep = rng.below(20);
         let ops: Vec<UpdateOp> = (0..n as u32)
             .map(|i| UpdateOp::InsertEdge {
                 src: VertexId(i),
@@ -50,120 +56,89 @@ proptest! {
             .collect();
         let s = UpdateStream::from_ops(ops.clone());
         let t = s.truncate_edge_ops(keep);
-        prop_assert_eq!(t.len(), keep.min(n));
-        prop_assert_eq!(t.ops(), &ops[..keep.min(n)]);
+        assert_eq!(t.len(), keep.min(n));
+        assert_eq!(t.ops(), &ops[..keep.min(n)]);
     }
 }
 
-/// A small random scenario: labeled graph + tree-ish query + ops.
-#[derive(Debug, Clone)]
+/// A small random scenario: labeled graph + connected query + insert burst.
 struct Scenario {
-    g0_edges: Vec<(u32, u32, u32)>,
-    q_edges: Vec<(u32, u32, Option<u32>)>,
-    nq: u32,
-    nv: u32,
-    burst: Vec<(u32, u32, u32)>,
+    g0: DynamicGraph,
+    q: QueryGraph,
+    burst: Vec<UpdateOp>,
 }
 
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    (3u32..7, 2u32..5).prop_flat_map(|(nv, nq)| {
-        let edge = (0..nv, 0..nv, 0u32..2);
-        let qedge_label = proptest::option::of(0u32..2);
-        // a connected query: vertex i attaches to some j < i
-        let qedges = proptest::collection::vec(
-            (any::<bool>(), 0u32..nq.max(1), qedge_label),
-            (nq - 1) as usize,
-        );
-        (
-            proptest::collection::vec(edge.clone(), 2..10),
-            qedges,
-            proptest::collection::vec(edge, 1..6),
-        )
-            .prop_map(move |(g0_edges, raw_q, burst)| {
-                let q_edges = raw_q
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (dirn, j, l))| {
-                        let child = (i + 1) as u32;
-                        let parent = j % child;
-                        if dirn {
-                            (parent, child, l)
-                        } else {
-                            (child, parent, l)
-                        }
-                    })
-                    .collect();
-                Scenario { g0_edges, q_edges, nq, nv, burst }
-            })
-    })
-}
+fn random_scenario(rng: &mut Pcg32) -> Scenario {
+    let nv = 3 + rng.below(4) as u32; // 3..=6 data vertices
+    let nq = 2 + rng.below(3) as u32; // 2..=4 query vertices
 
-fn build_scenario(s: &Scenario) -> (DynamicGraph, QueryGraph, Vec<UpdateOp>) {
     let mut g = DynamicGraph::new();
-    for i in 0..s.nv {
+    for i in 0..nv {
         g.add_vertex(LabelSet::single(LabelId(i % 2)));
     }
-    for &(a, b, l) in &s.g0_edges {
-        g.insert_edge(VertexId(a), LabelId(10 + l), VertexId(b));
+    for _ in 0..(2 + rng.below(8)) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        g.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
     }
+
+    // A connected query: vertex i attaches to some j < i, random direction,
+    // random (possibly wildcard) edge label.
     let mut q = QueryGraph::new();
-    for i in 0..s.nq {
+    for i in 0..nq {
         q.add_vertex(LabelSet::single(LabelId(i % 2)));
     }
-    let mut seen = std::collections::HashSet::new();
-    for &(a, b, l) in &s.q_edges {
-        if seen.insert((a, b, l)) {
-            q.add_edge(QVertexId(a), QVertexId(b), l.map(|x| LabelId(10 + x)));
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
         }
     }
-    let burst: Vec<UpdateOp> = s
-        .burst
-        .iter()
-        .filter(|&&(a, b, l)| !g.has_edge(VertexId(a), LabelId(10 + l), VertexId(b)))
-        .map(|&(a, b, l)| UpdateOp::InsertEdge {
-            src: VertexId(a),
-            label: LabelId(10 + l),
-            dst: VertexId(b),
-        })
-        .collect();
-    (g, q, burst)
+
+    let mut burst = Vec::new();
+    let mut live: HashSet<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    for _ in 0..(1 + rng.below(5)) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        let l = LabelId(10 + rng.below(2) as u32);
+        if live.insert((a, l, b)) {
+            burst.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+        }
+    }
+    Scenario { g0: g, q, burst }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Insert a burst of edges, then delete them in reverse: DCG snapshot,
-    /// DCG counters, and match set must return exactly to the originals,
-    /// and positives must equal negatives as sets.
-    #[test]
-    fn insert_then_delete_restores_everything(s in scenario_strategy()) {
-        let (g0, q, burst) = build_scenario(&s);
-        prop_assume!(q.edge_count() > 0 && q.is_connected());
-        // dedup burst triples
-        let mut uniq = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for op in burst {
-            if let UpdateOp::InsertEdge { src, label, dst } = &op {
-                if seen.insert((*src, *label, *dst)) {
-                    uniq.push(op);
-                }
-            }
+/// Insert a burst of edges, then delete them in reverse: DCG snapshot,
+/// DCG counters, and match set must return exactly to the originals,
+/// and positives must equal negatives as sets.
+#[test]
+fn insert_then_delete_restores_everything() {
+    let mut rng = Pcg32::new(0xD0_0D);
+    let mut exercised = 0;
+    for _ in 0..200 {
+        let s = random_scenario(&mut rng);
+        if s.q.edge_count() == 0 || !s.q.is_connected() || s.burst.is_empty() {
+            continue;
         }
-        prop_assume!(!uniq.is_empty());
+        exercised += 1;
 
-        let mut engine = TurboFlux::new(q.clone(), g0.clone(), TurboFluxConfig::default());
+        let mut engine = TurboFlux::new(s.q.clone(), s.g0.clone(), TurboFluxConfig::default());
         let snapshot0 = engine.dcg().snapshot();
         let bytes0 = engine.intermediate_result_bytes();
 
         let mut pos: HashSet<MatchRecord> = HashSet::new();
-        for op in &uniq {
+        for op in &s.burst {
             engine.apply(op, &mut |p, m| {
                 assert_eq!(p, Positiveness::Positive);
                 pos.insert(m.clone());
             });
         }
         let mut neg: HashSet<MatchRecord> = HashSet::new();
-        for op in uniq.iter().rev() {
+        for op in s.burst.iter().rev() {
             let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
             let del = UpdateOp::DeleteEdge { src: *src, label: *label, dst: *dst };
             engine.apply(&del, &mut |p, m| {
@@ -172,28 +147,37 @@ proptest! {
             });
         }
         engine.dcg().check_consistency();
-        prop_assert_eq!(engine.dcg().snapshot(), snapshot0);
-        prop_assert_eq!(engine.intermediate_result_bytes(), bytes0);
-        prop_assert_eq!(pos, neg);
+        assert_eq!(engine.dcg().snapshot(), snapshot0);
+        assert_eq!(engine.intermediate_result_bytes(), bytes0);
+        assert_eq!(pos, neg);
     }
+    assert!(exercised >= 48, "only {exercised} scenarios exercised");
+}
 
-    /// Arbitrary op application equals the oracle's set difference.
-    #[test]
-    fn reports_equal_oracle_difference(s in scenario_strategy()) {
-        let (g0, q, burst) = build_scenario(&s);
-        prop_assume!(q.edge_count() > 0 && q.is_connected());
-        let mut engine = TurboFlux::new(q.clone(), g0.clone(), TurboFluxConfig::default());
-        let mut shadow = g0;
-        for op in &burst {
-            let before = match_set(&shadow, &q, MatchSemantics::Homomorphism);
+/// Arbitrary op application equals the oracle's set difference.
+#[test]
+fn reports_equal_oracle_difference() {
+    let mut rng = Pcg32::new(0xFACE);
+    let mut exercised = 0;
+    for _ in 0..200 {
+        let s = random_scenario(&mut rng);
+        if s.q.edge_count() == 0 || !s.q.is_connected() {
+            continue;
+        }
+        exercised += 1;
+        let mut engine = TurboFlux::new(s.q.clone(), s.g0.clone(), TurboFluxConfig::default());
+        let mut shadow = s.g0;
+        for op in &s.burst {
+            let before = match_set(&shadow, &s.q, MatchSemantics::Homomorphism);
             shadow.apply(op);
-            let after = match_set(&shadow, &q, MatchSemantics::Homomorphism);
+            let after = match_set(&shadow, &s.q, MatchSemantics::Homomorphism);
             let mut got: HashSet<MatchRecord> = HashSet::new();
             engine.apply(op, &mut |_, m| {
                 got.insert(m.clone());
             });
             let want: HashSet<MatchRecord> = after.difference(&before).cloned().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
     }
+    assert!(exercised >= 48, "only {exercised} scenarios exercised");
 }
