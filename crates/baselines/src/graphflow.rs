@@ -11,7 +11,7 @@
 //! the standard delta-query rule: a solution is kept only in the evaluation
 //! of the *smallest* query edge that maps onto the updated data edge.
 
-use tfx_graph::{DynamicGraph, LabelId, UpdateOp, VertexId};
+use tfx_graph::{AdjacencyMode, DynamicGraph, LabelId, UpdateOp, VertexId};
 use tfx_query::{
     ContinuousMatcher, EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph,
 };
@@ -89,13 +89,8 @@ impl Graphflow {
             }
             if let Some(mw) = m[w.index()] {
                 let label = self.q.edge(e).label;
-                let list: Vec<VertexId> = self
-                    .g
-                    .out_neighbors(mw)
-                    .iter()
-                    .filter(|&&(_, dl)| label.is_none_or(|ql| ql == dl))
-                    .map(|&(x, _)| x)
-                    .collect();
+                let list: Vec<VertexId> =
+                    self.g.out_neighbors_matching(mw, label, AdjacencyMode::Indexed).collect();
                 if best.as_ref().is_none_or(|(c, _)| list.len() < *c) {
                     best = Some((list.len(), list));
                 }
@@ -107,13 +102,8 @@ impl Graphflow {
             }
             if let Some(mw) = m[w.index()] {
                 let label = self.q.edge(e).label;
-                let list: Vec<VertexId> = self
-                    .g
-                    .in_neighbors(mw)
-                    .iter()
-                    .filter(|&&(_, dl)| label.is_none_or(|ql| ql == dl))
-                    .map(|&(x, _)| x)
-                    .collect();
+                let list: Vec<VertexId> =
+                    self.g.in_neighbors_matching(mw, label, AdjacencyMode::Indexed).collect();
                 if best.as_ref().is_none_or(|(c, _)| list.len() < *c) {
                     best = Some((list.len(), list));
                 }

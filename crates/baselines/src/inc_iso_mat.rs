@@ -85,7 +85,7 @@ impl IncIsoMat {
             if d == self.diameter {
                 continue;
             }
-            for &(w, _) in self.g.out_neighbors(v).iter().chain(self.g.in_neighbors(v)) {
+            for (w, _) in self.g.out_neighbors(v).chain(self.g.in_neighbors(v)) {
                 if dist_ok.insert(w) {
                     queue.push_back((w, d + 1));
                 }

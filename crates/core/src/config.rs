@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use tfx_graph::AdjacencyMode;
 use tfx_query::MatchSemantics;
 
 /// Tunable options for a [`crate::TurboFlux`] engine instance.
@@ -24,6 +25,12 @@ pub struct TurboFluxConfig {
     /// exists purely as an ablation hook for the incremental
     /// [`crate::order::OrderMaintenance`] path.
     pub incremental_drift_check: bool,
+    /// Use the label-partitioned adjacency index for candidate enumeration
+    /// (O(log + |label group|) per lookup). Disabling falls back to the
+    /// flat full-list scan over the same storage — candidates, order, and
+    /// deltas are identical either way, so this exists purely as an
+    /// ablation switch for benchmarking the index.
+    pub label_indexed_adjacency: bool,
 }
 
 impl Default for TurboFluxConfig {
@@ -34,6 +41,7 @@ impl Default for TurboFluxConfig {
             order_drift_factor: 2.0,
             order_drift_floor: 64,
             incremental_drift_check: true,
+            label_indexed_adjacency: true,
         }
     }
 }
@@ -42,6 +50,16 @@ impl TurboFluxConfig {
     /// Default configuration with the given semantics.
     pub fn with_semantics(semantics: MatchSemantics) -> Self {
         TurboFluxConfig { semantics, ..Self::default() }
+    }
+
+    /// The adjacency access path selected by
+    /// [`Self::label_indexed_adjacency`].
+    pub fn adjacency_mode(&self) -> AdjacencyMode {
+        if self.label_indexed_adjacency {
+            AdjacencyMode::Indexed
+        } else {
+            AdjacencyMode::FlatScan
+        }
     }
 }
 
@@ -55,6 +73,10 @@ mod tests {
         assert_eq!(c.semantics, MatchSemantics::Homomorphism);
         assert!(c.adjust_matching_order);
         assert!(c.incremental_drift_check);
+        assert!(c.label_indexed_adjacency);
+        assert_eq!(c.adjacency_mode(), AdjacencyMode::Indexed);
+        let flat = TurboFluxConfig { label_indexed_adjacency: false, ..c };
+        assert_eq!(flat.adjacency_mode(), AdjacencyMode::FlatScan);
         assert_eq!(
             TurboFluxConfig::with_semantics(MatchSemantics::Isomorphism).semantics,
             MatchSemantics::Isomorphism

@@ -13,8 +13,8 @@
 //!
 //! The artificial start edges `(v_s*, u_s, v_s)` are stored as a per-vertex
 //! root state. Storage is adjacency keyed per query vertex in *both*
-//! directions, so the engine can walk downward (`out_edges`) during
-//! `BuildDCG`/`SubgraphSearch` and upward (`in_edges`) during
+//! directions, so the engine can walk downward (`out_edge_slice`) during
+//! `BuildDCG`/`SubgraphSearch` and upward (`in_edge_slice`) during
 //! `BuildUpwardsAndEval` without touching the data graph. Per-vertex
 //! explicit-out bitmaps make the paper's `MatchAllChildren` test O(1).
 //!
@@ -241,21 +241,6 @@ impl Dcg {
         }
     }
 
-    /// The stored incoming edges of `v` labeled `u` as `(parent, state)`
-    /// pairs. Not defined for `u = u_s` (the engine special-cases the start
-    /// edge).
-    pub fn in_edges(&self, v: VertexId, u: QVertexId) -> Vec<(VertexId, EdgeState)> {
-        debug_assert_ne!(u, self.root_qv);
-        self.inc[u.index()].get(&v).map_or_else(Vec::new, |l| l.edges.clone())
-    }
-
-    /// The stored outgoing edges of `pv` labeled `u` as `(child, state)`
-    /// pairs.
-    pub fn out_edges(&self, pv: VertexId, u: QVertexId) -> Vec<(VertexId, EdgeState)> {
-        debug_assert_ne!(u, self.root_qv);
-        self.out[u.index()].get(&pv).map_or_else(Vec::new, |l| l.edges.clone())
-    }
-
     /// Calls `f` for each *explicit* outgoing edge target of `pv` labeled
     /// `u` (the hot loop of `SubgraphSearch`).
     pub fn for_each_expl_out(
@@ -452,11 +437,11 @@ mod tests {
         let mut d = Dcg::new(4, u(0));
         d.transit(Some(v(0)), u(2), v(5), Some(EdgeState::Explicit));
         d.transit(Some(v(1)), u(2), v(5), Some(EdgeState::Implicit));
-        let ins = d.in_edges(v(5), u(2));
+        let ins = d.in_edge_slice(v(5), u(2));
         assert_eq!(ins.len(), 2);
         assert!(ins.contains(&(v(0), EdgeState::Explicit)));
         assert!(ins.contains(&(v(1), EdgeState::Implicit)));
-        assert_eq!(d.out_edges(v(0), u(2)), vec![(v(5), EdgeState::Explicit)]);
+        assert_eq!(d.out_edge_slice(v(0), u(2)), &[(v(5), EdgeState::Explicit)]);
         let mut seen = Vec::new();
         d.for_each_expl_out(v(0), u(2), &mut |w| {
             seen.push(w);
@@ -486,13 +471,17 @@ mod tests {
     }
 
     #[test]
-    fn edge_slices_mirror_cloned_views() {
+    fn edge_slices_mirror_each_direction() {
         let mut d = Dcg::new(4, u(0));
         d.transit(Some(v(0)), u(2), v(5), Some(EdgeState::Explicit));
         d.transit(Some(v(1)), u(2), v(5), Some(EdgeState::Implicit));
-        assert_eq!(d.in_edge_slice(v(5), u(2)), d.in_edges(v(5), u(2)).as_slice());
-        assert_eq!(d.out_edge_slice(v(0), u(2)), d.out_edges(v(0), u(2)).as_slice());
+        let ins: Vec<_> = d.in_edge_slice(v(5), u(2)).to_vec();
+        for &(pv, st) in &ins {
+            assert!(d.out_edge_slice(pv, u(2)).contains(&(v(5), st)));
+        }
+        assert_eq!(ins.len(), 2);
         assert!(d.in_edge_slice(v(9), u(2)).is_empty());
+        assert!(d.out_edge_slice(v(9), u(2)).is_empty());
     }
 
     #[test]

@@ -215,10 +215,18 @@ impl TurboFlux {
         // Check-and-avoid: recurse only if this is the first incoming edge
         // of cv labeled u — otherwise the subtrees are already built.
         if self.dcg.in_count_total(cv, u) == 1 {
+            let mode = self.cfg.adjacency_mode();
             for ci in 0..self.tree.children(u).len() {
                 let uc = self.tree.children(u)[ci];
-                let start =
-                    collect_child_candidates(g, &self.q, &self.tree, uc, cv, &mut scratch.kids);
+                let start = collect_child_candidates(
+                    g,
+                    &self.q,
+                    &self.tree,
+                    uc,
+                    cv,
+                    mode,
+                    &mut scratch.kids,
+                );
                 let end = scratch.kids.len();
                 let mut i = start;
                 while i < end {

@@ -19,7 +19,7 @@
 
 use rustc_hash::FxHashSet;
 use std::collections::BTreeMap;
-use tfx_graph::{DynamicGraph, VertexId};
+use tfx_graph::{AdjacencyMode, DynamicGraph, VertexId};
 use tfx_query::{QueryGraph, QueryTree};
 
 use crate::dcg::EdgeState;
@@ -49,7 +49,11 @@ pub fn reference_dcg(g: &DynamicGraph, q: &QueryGraph, tree: &QueryTree) -> DcgI
         let parents: Vec<VertexId> = cand[parent.index()].iter().copied().collect();
         for pv in parents {
             let mut seen = FxHashSet::default();
-            for_each_child_candidate(g, q, tree, u, pv, &mut |cv| {
+            // The oracle deliberately uses the flat-scan access path so that
+            // checking the engine (which defaults to the indexed path)
+            // cross-validates the label-partitioned index against an
+            // independent enumeration.
+            for_each_child_candidate(g, q, tree, u, pv, AdjacencyMode::FlatScan, &mut |cv| {
                 if seen.insert(cv) {
                     edges.push((Some(pv), u.0, cv));
                     cand[u.index()].insert(cv);

@@ -5,8 +5,15 @@
 //! These helpers hide that: the DCG always thinks in terms of
 //! (tree-parent data vertex, child query vertex, child data vertex), while
 //! the data graph stores directed edges.
+//!
+//! All candidate enumeration goes through the graph's label-partitioned
+//! adjacency index: with a concrete query-edge label and
+//! [`AdjacencyMode::Indexed`] only that label's neighbor group is walked
+//! (O(log + |group|) instead of O(deg)). [`AdjacencyMode::FlatScan`] forces
+//! the pre-index full-list filter as an ablation baseline; both modes yield
+//! the same candidates in the same `(label, neighbor)` order.
 
-use tfx_graph::{DynamicGraph, VertexId};
+use tfx_graph::{AdjacencyMode, DynamicGraph, VertexId};
 use tfx_query::{QVertexId, QueryGraph, QueryTree};
 
 /// The directed data pair `(src, dst)` backing DCG edge `(pv, u, cv)`.
@@ -54,6 +61,7 @@ pub fn for_each_child_candidate(
     tree: &QueryTree,
     u: QVertexId,
     pv: VertexId,
+    mode: AdjacencyMode,
     f: &mut dyn FnMut(VertexId),
 ) {
     let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
@@ -62,8 +70,9 @@ pub fn for_each_child_candidate(
         if !q.labels(qe.src).is_subset_of(g.labels(pv)) {
             return;
         }
-        for &(cv, l) in g.out_neighbors(pv) {
-            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.dst).is_subset_of(g.labels(cv)) {
+        let child_labels = q.labels(qe.dst);
+        for cv in g.out_neighbors_matching(pv, qe.label, mode) {
+            if child_labels.is_subset_of(g.labels(cv)) {
                 f(cv);
             }
         }
@@ -71,8 +80,9 @@ pub fn for_each_child_candidate(
         if !q.labels(qe.dst).is_subset_of(g.labels(pv)) {
             return;
         }
-        for &(cv, l) in g.in_neighbors(pv) {
-            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.src).is_subset_of(g.labels(cv)) {
+        let child_labels = q.labels(qe.src);
+        for cv in g.in_neighbors_matching(pv, qe.label, mode) {
+            if child_labels.is_subset_of(g.labels(cv)) {
                 f(cv);
             }
         }
@@ -92,10 +102,11 @@ pub fn collect_child_candidates(
     tree: &QueryTree,
     u: QVertexId,
     pv: VertexId,
+    mode: AdjacencyMode,
     buf: &mut Vec<VertexId>,
 ) -> usize {
     let start = buf.len();
-    for_each_child_candidate(g, q, tree, u, pv, &mut |w| buf.push(w));
+    for_each_child_candidate(g, q, tree, u, pv, mode, &mut |w| buf.push(w));
     buf[start..].sort_unstable();
     // Dedup the tail segment in place (Vec::dedup would scan the prefix).
     let mut write = start;
@@ -118,6 +129,7 @@ pub fn for_each_parent_candidate(
     tree: &QueryTree,
     u: QVertexId,
     cv: VertexId,
+    mode: AdjacencyMode,
     f: &mut dyn FnMut(VertexId),
 ) {
     let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
@@ -126,8 +138,9 @@ pub fn for_each_parent_candidate(
         if !q.labels(qe.dst).is_subset_of(g.labels(cv)) {
             return;
         }
-        for &(pv, l) in g.in_neighbors(cv) {
-            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.src).is_subset_of(g.labels(pv)) {
+        let parent_labels = q.labels(qe.src);
+        for pv in g.in_neighbors_matching(cv, qe.label, mode) {
+            if parent_labels.is_subset_of(g.labels(pv)) {
                 f(pv);
             }
         }
@@ -135,8 +148,9 @@ pub fn for_each_parent_candidate(
         if !q.labels(qe.src).is_subset_of(g.labels(cv)) {
             return;
         }
-        for &(pv, l) in g.out_neighbors(cv) {
-            if qe.label.is_none_or(|ql| ql == l) && q.labels(qe.dst).is_subset_of(g.labels(pv)) {
+        let parent_labels = q.labels(qe.dst);
+        for pv in g.out_neighbors_matching(cv, qe.label, mode) {
+            if parent_labels.is_subset_of(g.labels(pv)) {
                 f(pv);
             }
         }
@@ -180,9 +194,11 @@ mod tests {
         assert!(tree_edge_supported(&g, &q, &tree, u1, VertexId(0), VertexId(1)));
         assert!(!tree_edge_supported(&g, &q, &tree, u1, VertexId(1), VertexId(0)));
         assert_eq!(data_pair(&tree, u1, VertexId(0), VertexId(1)), (VertexId(0), VertexId(1)));
-        let mut kids = Vec::new();
-        for_each_child_candidate(&g, &q, &tree, u1, VertexId(0), &mut |v| kids.push(v));
-        assert_eq!(kids, vec![VertexId(1)]);
+        for mode in [AdjacencyMode::Indexed, AdjacencyMode::FlatScan] {
+            let mut kids = Vec::new();
+            for_each_child_candidate(&g, &q, &tree, u1, VertexId(0), mode, &mut |v| kids.push(v));
+            assert_eq!(kids, vec![VertexId(1)], "{mode:?}");
+        }
     }
 
     #[test]
@@ -193,12 +209,16 @@ mod tests {
         // DCG edge (a, u2, c): parent side is a (matches u0), child c.
         assert!(tree_edge_supported(&g, &q, &tree, u2, VertexId(0), VertexId(2)));
         assert_eq!(data_pair(&tree, u2, VertexId(0), VertexId(2)), (VertexId(2), VertexId(0)));
-        let mut kids = Vec::new();
-        for_each_child_candidate(&g, &q, &tree, u2, VertexId(0), &mut |v| kids.push(v));
-        assert_eq!(kids, vec![VertexId(2)]);
-        let mut parents = Vec::new();
-        for_each_parent_candidate(&g, &q, &tree, u2, VertexId(2), &mut |v| parents.push(v));
-        assert_eq!(parents, vec![VertexId(0)]);
+        for mode in [AdjacencyMode::Indexed, AdjacencyMode::FlatScan] {
+            let mut kids = Vec::new();
+            for_each_child_candidate(&g, &q, &tree, u2, VertexId(0), mode, &mut |v| kids.push(v));
+            assert_eq!(kids, vec![VertexId(2)], "{mode:?}");
+            let mut parents = Vec::new();
+            for_each_parent_candidate(&g, &q, &tree, u2, VertexId(2), mode, &mut |v| {
+                parents.push(v)
+            });
+            assert_eq!(parents, vec![VertexId(0)], "{mode:?}");
+        }
     }
 
     #[test]
@@ -209,7 +229,15 @@ mod tests {
         g.insert_edge(VertexId(0), l(9), VertexId(1));
         let u1 = QVertexId(1);
         let mut buf = vec![VertexId(77)]; // pre-existing segment below
-        let start = collect_child_candidates(&g, &q, &tree, u1, VertexId(0), &mut buf);
+        let start = collect_child_candidates(
+            &g,
+            &q,
+            &tree,
+            u1,
+            VertexId(0),
+            AdjacencyMode::Indexed,
+            &mut buf,
+        );
         assert_eq!(start, 1);
         assert_eq!(&buf[start..], &[VertexId(1)], "parallel edges deduped");
         assert_eq!(buf[0], VertexId(77), "prefix untouched");
@@ -223,7 +251,39 @@ mod tests {
         let u1 = QVertexId(1);
         let mut kids = Vec::new();
         // pv = c (labeled C, not A): parent-side label check fails.
-        for_each_child_candidate(&g, &q, &tree, u1, VertexId(2), &mut |v| kids.push(v));
+        for_each_child_candidate(
+            &g,
+            &q,
+            &tree,
+            u1,
+            VertexId(2),
+            AdjacencyMode::Indexed,
+            &mut |v| kids.push(v),
+        );
         assert!(kids.is_empty());
+    }
+
+    #[test]
+    fn wildcard_query_edge_enumerates_all_labels() {
+        // Query u0 -> u1 with no edge label: both access modes must walk
+        // every label group.
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(l(0)));
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        let c = g.add_vertex(LabelSet::single(l(1)));
+        g.insert_edge(a, l(8), b);
+        g.insert_edge(a, l(9), c);
+        g.insert_edge(a, l(9), b); // parallel to the l(8) edge
+
+        let mut q = QueryGraph::new();
+        let u0 = q.add_vertex(LabelSet::single(l(0)));
+        let u1 = q.add_vertex(LabelSet::single(l(1)));
+        q.add_edge(u0, u1, None);
+        let tree = QueryTree::build(&q, u0, &GraphStats::new(&g));
+        for mode in [AdjacencyMode::Indexed, AdjacencyMode::FlatScan] {
+            let mut kids = Vec::new();
+            for_each_child_candidate(&g, &q, &tree, QVertexId(1), a, mode, &mut |v| kids.push(v));
+            assert_eq!(kids, vec![b, b, c], "{mode:?}: per-entry reporting, (label, id) order");
+        }
     }
 }

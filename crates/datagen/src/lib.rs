@@ -20,6 +20,7 @@
 //! across platforms and toolchains.
 
 pub mod dataset;
+pub mod hub;
 pub mod lsbench;
 pub mod netflow;
 pub mod queries;
@@ -27,6 +28,7 @@ pub mod rng;
 pub mod schema;
 
 pub use dataset::Dataset;
+pub use hub::HubConfig;
 pub use lsbench::LsBenchConfig;
 pub use netflow::NetflowConfig;
 pub use queries::QueryGenConfig;

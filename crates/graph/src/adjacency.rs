@@ -1,0 +1,523 @@
+//! Label-partitioned per-vertex adjacency lists.
+//!
+//! Every edge-transition in the matching engines asks one of two questions
+//! about a data vertex `v`: "which neighbors are reachable over an edge with
+//! label `l`?" (concrete query-edge label — the overwhelmingly common case)
+//! or "which neighbors at all?" (wildcard query edge). A flat neighbor list
+//! answers the first question in O(deg(v)), which dominates DCG construction
+//! on high-degree hubs in skewed graphs. This module keeps each adjacency
+//! list partitioned by edge label so the first question is answered with a
+//! binary search plus a contiguous slice walk: O(log #labels + |group|).
+//!
+//! Two representations, chosen per vertex by degree:
+//!
+//! * **Small** — a single inline `Vec<(LabelId, VertexId)>` kept sorted by
+//!   `(label, neighbor)`. Label groups are contiguous runs located with
+//!   `partition_point`. One allocation, best cache behavior, and the common
+//!   case: most vertices in real streams stay below the threshold.
+//! * **Promoted** — once total degree exceeds [`PROMOTE_DEGREE`], the list is
+//!   split into a per-label table of neighbor vectors (each sorted). Lookup
+//!   binary-searches the label table and returns the group slice directly;
+//!   insert/remove shift only within one group instead of the whole list.
+//!
+//! Promotion is one-way (no demotion on shrink): oscillating around the
+//! threshold must not cause repacking churn, and a promoted vertex was hot
+//! once and is likely to be hot again. For the same reason a group emptied
+//! by deletions is kept as a tombstone with its capacity — steady-state
+//! delete/re-insert cycles stay allocation-free.
+//!
+//! Both representations iterate in `(label, neighbor)` order, so promotion
+//! never changes observable enumeration order. The engines' outputs are
+//! therefore independent of the representation *and* of the access path —
+//! which is what lets [`AdjacencyMode::FlatScan`] serve as a faithful
+//! ablation baseline: same storage, same order, but every lookup walks the
+//! whole list and filters, exactly like the pre-index code.
+
+use crate::ids::{LabelId, VertexId};
+
+/// Total-degree threshold past which an adjacency list switches from the
+/// inline sorted representation to the per-label group table.
+///
+/// Below it, `memmove`-style inserts into one small vector beat pointer
+/// chasing; above it, per-group updates and direct group slices win. 24
+/// entries keeps `Small` within a couple of cache lines.
+pub const PROMOTE_DEGREE: usize = 24;
+
+/// How scan sites access the adjacency index.
+///
+/// Storage is always label-partitioned; this only selects the *access path*,
+/// so both modes produce byte-identical results and the flag is a pure
+/// ablation switch for benchmarking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AdjacencyMode {
+    /// Label-qualified lookups: binary-search the label group, walk only it.
+    #[default]
+    Indexed,
+    /// Pre-index behavior: walk the entire neighbor list and filter by
+    /// label. Kept for head-to-head benchmarks.
+    FlatScan,
+}
+
+/// One label's neighbor group in the promoted representation.
+#[derive(Clone, Debug)]
+pub(crate) struct LabelGroup {
+    label: LabelId,
+    /// Sorted, duplicate-free (the graph's edge set already dedups triples).
+    /// May be empty: emptied groups are kept as tombstones so re-inserting
+    /// the same label never allocates.
+    neighbors: Vec<VertexId>,
+}
+
+/// A single vertex's adjacency in one direction.
+#[derive(Clone, Debug)]
+pub(crate) enum Adjacency {
+    /// Inline list sorted by `(label, neighbor)`.
+    Small(Vec<(LabelId, VertexId)>),
+    /// Per-label group table sorted by label; `len` caches the total degree.
+    Promoted { len: usize, groups: Vec<LabelGroup> },
+}
+
+impl Default for Adjacency {
+    fn default() -> Self {
+        Adjacency::Small(Vec::new())
+    }
+}
+
+impl Adjacency {
+    /// Total number of `(label, neighbor)` entries.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Adjacency::Small(entries) => entries.len(),
+            Adjacency::Promoted { len, .. } => *len,
+        }
+    }
+
+    /// True once this list has switched to the per-label group table.
+    pub(crate) fn is_promoted(&self) -> bool {
+        matches!(self, Adjacency::Promoted { .. })
+    }
+
+    /// Inserts `(label, v)`. The caller (the graph's edge set) guarantees the
+    /// pair is not already present.
+    pub(crate) fn insert(&mut self, label: LabelId, v: VertexId) {
+        match self {
+            Adjacency::Small(entries) => {
+                let pos = entries
+                    .binary_search(&(label, v))
+                    .expect_err("duplicate adjacency entry (edge set out of sync)");
+                entries.insert(pos, (label, v));
+                if entries.len() > PROMOTE_DEGREE {
+                    self.promote();
+                }
+            }
+            Adjacency::Promoted { len, groups } => {
+                match groups.binary_search_by_key(&label, |g| g.label) {
+                    Ok(i) => {
+                        let neighbors = &mut groups[i].neighbors;
+                        let pos = neighbors
+                            .binary_search(&v)
+                            .expect_err("duplicate adjacency entry (edge set out of sync)");
+                        neighbors.insert(pos, v);
+                    }
+                    Err(i) => groups.insert(i, LabelGroup { label, neighbors: vec![v] }),
+                }
+                *len += 1;
+            }
+        }
+    }
+
+    /// Removes `(label, v)`; returns `false` if absent. O(log + |group|) in
+    /// the promoted representation — the group is located by binary search
+    /// and only its entries shift.
+    pub(crate) fn remove(&mut self, label: LabelId, v: VertexId) -> bool {
+        match self {
+            Adjacency::Small(entries) => match entries.binary_search(&(label, v)) {
+                Ok(pos) => {
+                    entries.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Adjacency::Promoted { len, groups } => {
+                let Ok(i) = groups.binary_search_by_key(&label, |g| g.label) else {
+                    return false;
+                };
+                let neighbors = &mut groups[i].neighbors;
+                match neighbors.binary_search(&v) {
+                    Ok(pos) => {
+                        // Emptied groups stay as tombstones (see module docs).
+                        neighbors.remove(pos);
+                        *len -= 1;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn promote(&mut self) {
+        let Adjacency::Small(entries) = self else { return };
+        let entries = std::mem::take(entries);
+        let len = entries.len();
+        let mut groups: Vec<LabelGroup> = Vec::new();
+        for (label, v) in entries {
+            match groups.last_mut() {
+                Some(g) if g.label == label => g.neighbors.push(v),
+                _ => groups.push(LabelGroup { label, neighbors: vec![v] }),
+            }
+        }
+        *self = Adjacency::Promoted { len, groups };
+    }
+
+    /// The neighbors reachable over an edge labeled exactly `label`, as a
+    /// sorted duplicate-free sequence. O(log) to locate, O(1) per item.
+    pub(crate) fn labeled(&self, label: LabelId) -> LabeledNeighbors<'_> {
+        match self {
+            Adjacency::Small(entries) => {
+                let lo = entries.partition_point(|&(l, _)| l < label);
+                let hi = lo + entries[lo..].partition_point(|&(l, _)| l == label);
+                LabeledNeighbors(LabeledRepr::Pairs(&entries[lo..hi]))
+            }
+            Adjacency::Promoted { groups, .. } => {
+                match groups.binary_search_by_key(&label, |g| g.label) {
+                    Ok(i) => LabeledNeighbors(LabeledRepr::Ids(&groups[i].neighbors)),
+                    Err(_) => LabeledNeighbors(LabeledRepr::Ids(&[])),
+                }
+            }
+        }
+    }
+
+    /// True iff at least one edge with `label` leaves over this list.
+    pub(crate) fn has_label(&self, label: LabelId) -> bool {
+        !self.labeled(label).is_empty()
+    }
+
+    /// All `(neighbor, edge label)` pairs in `(label, neighbor)` order.
+    pub(crate) fn iter(&self) -> Neighbors<'_> {
+        match self {
+            Adjacency::Small(entries) => Neighbors(NeighborsRepr::Small(entries.iter())),
+            Adjacency::Promoted { groups, .. } => Neighbors(NeighborsRepr::Promoted {
+                groups: groups.iter(),
+                label: LabelId(0),
+                current: [].iter(),
+            }),
+        }
+    }
+
+    /// Neighbors matching an optional query-edge label, via the access path
+    /// selected by `mode`. Yields in `(label, neighbor)` order either way.
+    pub(crate) fn matching(
+        &self,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_> {
+        match (qlabel, mode) {
+            (Some(label), AdjacencyMode::Indexed) => {
+                MatchingNeighbors(MatchingRepr::Labeled(self.labeled(label)))
+            }
+            (qlabel, _) => MatchingNeighbors(MatchingRepr::Scan { iter: self.iter(), qlabel }),
+        }
+    }
+
+    /// True iff some entry points at `v` (any label).
+    pub(crate) fn any_to(&self, v: VertexId) -> bool {
+        match self {
+            Adjacency::Small(entries) => entries.iter().any(|&(_, w)| w == v),
+            Adjacency::Promoted { groups, .. } => {
+                groups.iter().any(|g| g.neighbors.binary_search(&v).is_ok())
+            }
+        }
+    }
+
+    /// Number of parallel edges (distinct labels) pointing at `v`.
+    pub(crate) fn count_to(&self, v: VertexId) -> usize {
+        match self {
+            Adjacency::Small(entries) => entries.iter().filter(|&&(_, w)| w == v).count(),
+            Adjacency::Promoted { groups, .. } => {
+                groups.iter().filter(|g| g.neighbors.binary_search(&v).is_ok()).count()
+            }
+        }
+    }
+
+    /// Distinct labels present (tombstoned groups excluded), with group
+    /// sizes, in label order.
+    pub(crate) fn label_runs(&self) -> LabelRuns<'_> {
+        match self {
+            Adjacency::Small(entries) => LabelRuns(LabelRunsRepr::Small(entries)),
+            Adjacency::Promoted { groups, .. } => LabelRuns(LabelRunsRepr::Promoted(groups.iter())),
+        }
+    }
+}
+
+/// Iterator over one label group's neighbors (sorted, duplicate-free).
+#[derive(Clone, Copy)]
+pub struct LabeledNeighbors<'a>(LabeledRepr<'a>);
+
+#[derive(Clone, Copy)]
+enum LabeledRepr<'a> {
+    /// Slice of the inline `(label, neighbor)` list (one label run).
+    Pairs(&'a [(LabelId, VertexId)]),
+    /// Slice of a promoted group's neighbor vector.
+    Ids(&'a [VertexId]),
+}
+
+impl LabeledNeighbors<'_> {
+    /// Number of neighbors in the group — the label-qualified degree.
+    pub fn len(&self) -> usize {
+        match self.0 {
+            LabeledRepr::Pairs(s) => s.len(),
+            LabeledRepr::Ids(s) => s.len(),
+        }
+    }
+
+    /// True iff the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff `v` is in the group. O(log |group|).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self.0 {
+            LabeledRepr::Pairs(s) => s.binary_search_by_key(&v, |&(_, w)| w).is_ok(),
+            LabeledRepr::Ids(s) => s.binary_search(&v).is_ok(),
+        }
+    }
+}
+
+impl Iterator for LabeledNeighbors<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        match &mut self.0 {
+            LabeledRepr::Pairs(s) => {
+                let (&(_, v), rest) = s.split_first()?;
+                *s = rest;
+                Some(v)
+            }
+            LabeledRepr::Ids(s) => {
+                let (&v, rest) = s.split_first()?;
+                *s = rest;
+                Some(v)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LabeledNeighbors<'_> {}
+
+/// Iterator over all `(neighbor, edge label)` pairs of one adjacency list,
+/// in `(label, neighbor)` order regardless of representation.
+#[derive(Clone)]
+pub struct Neighbors<'a>(NeighborsRepr<'a>);
+
+#[derive(Clone)]
+enum NeighborsRepr<'a> {
+    Small(std::slice::Iter<'a, (LabelId, VertexId)>),
+    Promoted {
+        groups: std::slice::Iter<'a, LabelGroup>,
+        label: LabelId,
+        current: std::slice::Iter<'a, VertexId>,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = (VertexId, LabelId);
+
+    fn next(&mut self) -> Option<(VertexId, LabelId)> {
+        match &mut self.0 {
+            NeighborsRepr::Small(iter) => iter.next().map(|&(l, v)| (v, l)),
+            NeighborsRepr::Promoted { groups, label, current } => loop {
+                if let Some(&v) = current.next() {
+                    return Some((v, *label));
+                }
+                let g = groups.next()?;
+                *label = g.label;
+                *current = g.neighbors.iter();
+            },
+        }
+    }
+}
+
+/// Iterator over neighbors matching an optional query-edge label, through
+/// either access path ([`AdjacencyMode`]). Yields neighbor ids.
+pub struct MatchingNeighbors<'a>(MatchingRepr<'a>);
+
+enum MatchingRepr<'a> {
+    Labeled(LabeledNeighbors<'a>),
+    Scan { iter: Neighbors<'a>, qlabel: Option<LabelId> },
+}
+
+impl Iterator for MatchingNeighbors<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        match &mut self.0 {
+            MatchingRepr::Labeled(iter) => iter.next(),
+            MatchingRepr::Scan { iter, qlabel } => {
+                iter.find(|&(_, l)| qlabel.is_none_or(|ql| ql == l)).map(|(v, _)| v)
+            }
+        }
+    }
+}
+
+/// Iterator over `(label, group size)` runs; tombstoned (empty) groups are
+/// skipped.
+pub struct LabelRuns<'a>(LabelRunsRepr<'a>);
+
+enum LabelRunsRepr<'a> {
+    Small(&'a [(LabelId, VertexId)]),
+    Promoted(std::slice::Iter<'a, LabelGroup>),
+}
+
+impl Iterator for LabelRuns<'_> {
+    type Item = (LabelId, usize);
+
+    fn next(&mut self) -> Option<(LabelId, usize)> {
+        match &mut self.0 {
+            LabelRunsRepr::Small(entries) => {
+                let (&(label, _), _) = entries.split_first()?;
+                let run = entries.partition_point(|&(l, _)| l == label);
+                *entries = &entries[run..];
+                Some((label, run))
+            }
+            LabelRunsRepr::Promoted(groups) => {
+                for g in groups.by_ref() {
+                    if !g.neighbors.is_empty() {
+                        return Some((g.label, g.neighbors.len()));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn collect(a: &Adjacency) -> Vec<(VertexId, LabelId)> {
+        a.iter().collect()
+    }
+
+    #[test]
+    fn small_insert_keeps_label_runs_sorted() {
+        let mut a = Adjacency::default();
+        a.insert(l(2), v(5));
+        a.insert(l(1), v(9));
+        a.insert(l(2), v(3));
+        a.insert(l(1), v(1));
+        assert!(!a.is_promoted());
+        assert_eq!(collect(&a), vec![(v(1), l(1)), (v(9), l(1)), (v(3), l(2)), (v(5), l(2))]);
+        assert_eq!(a.labeled(l(2)).collect::<Vec<_>>(), vec![v(3), v(5)]);
+        assert_eq!(a.labeled(l(1)).len(), 2);
+        assert!(a.labeled(l(7)).is_empty());
+        assert!(a.has_label(l(1)));
+        assert!(!a.has_label(l(0)));
+        assert_eq!(a.label_runs().collect::<Vec<_>>(), vec![(l(1), 2), (l(2), 2)]);
+    }
+
+    #[test]
+    fn promotion_preserves_order_and_lookups() {
+        let mut a = Adjacency::default();
+        // Interleave labels so groups are non-trivial; cross the threshold.
+        for i in 0..(PROMOTE_DEGREE as u32 + 8) {
+            a.insert(l(i % 3), v(100 - i));
+        }
+        assert!(a.is_promoted());
+        assert_eq!(a.len(), PROMOTE_DEGREE + 8);
+        let got = collect(&a);
+        let mut want = got.clone();
+        want.sort_by_key(|&(w, lab)| (lab, w));
+        assert_eq!(got, want, "promoted iteration stays (label, neighbor)-sorted");
+        for lab in 0..3 {
+            let group: Vec<_> = a.labeled(l(lab)).collect();
+            let flat: Vec<_> =
+                got.iter().filter(|&&(_, la)| la == l(lab)).map(|&(w, _)| w).collect();
+            assert_eq!(group, flat);
+            assert!(group.windows(2).all(|w| w[0] < w[1]), "group sorted");
+        }
+    }
+
+    #[test]
+    fn promoted_remove_is_per_group_and_tombstones() {
+        let mut a = Adjacency::default();
+        for i in 0..(PROMOTE_DEGREE as u32 + 2) {
+            a.insert(l(i % 2), v(i));
+        }
+        assert!(a.is_promoted());
+        // Drain label 1 entirely.
+        let ones: Vec<_> = a.labeled(l(1)).collect();
+        for w in &ones {
+            assert!(a.remove(l(1), *w));
+        }
+        assert!(!a.has_label(l(1)));
+        assert!(a.labeled(l(1)).is_empty());
+        assert_eq!(a.label_runs().collect::<Vec<_>>(), vec![(l(0), PROMOTE_DEGREE / 2 + 1)]);
+        // Tombstoned group is reused without reallocating.
+        a.insert(l(1), v(999));
+        assert_eq!(a.labeled(l(1)).collect::<Vec<_>>(), vec![v(999)]);
+        assert!(!a.remove(l(1), v(0)), "absent neighbor");
+        assert!(!a.remove(l(9), v(0)), "absent label");
+    }
+
+    #[test]
+    fn matching_modes_agree() {
+        let mut a = Adjacency::default();
+        for i in 0..(PROMOTE_DEGREE as u32 + 5) {
+            a.insert(l(i % 4), v(i * 7 % 31));
+        }
+        for qlabel in [None, Some(l(0)), Some(l(3)), Some(l(9))] {
+            let indexed: Vec<_> = a.matching(qlabel, AdjacencyMode::Indexed).collect();
+            let scanned: Vec<_> = a.matching(qlabel, AdjacencyMode::FlatScan).collect();
+            assert_eq!(indexed, scanned, "qlabel {qlabel:?}");
+        }
+    }
+
+    #[test]
+    fn any_and_count_to() {
+        let mut a = Adjacency::default();
+        a.insert(l(0), v(4));
+        a.insert(l(1), v(4));
+        a.insert(l(2), v(6));
+        assert!(a.any_to(v(4)));
+        assert!(!a.any_to(v(5)));
+        assert_eq!(a.count_to(v(4)), 2);
+        for i in 0..PROMOTE_DEGREE as u32 {
+            a.insert(l(3), v(50 + i));
+        }
+        assert!(a.is_promoted());
+        assert!(a.any_to(v(6)));
+        assert_eq!(a.count_to(v(4)), 2);
+        assert_eq!(a.count_to(v(7)), 0);
+    }
+
+    #[test]
+    fn labeled_contains_both_reprs() {
+        let mut a = Adjacency::default();
+        a.insert(l(1), v(2));
+        a.insert(l(1), v(8));
+        assert!(a.labeled(l(1)).contains(v(8)));
+        assert!(!a.labeled(l(1)).contains(v(3)));
+        for i in 0..PROMOTE_DEGREE as u32 {
+            a.insert(l(0), v(100 + i));
+        }
+        assert!(a.is_promoted());
+        assert!(a.labeled(l(1)).contains(v(2)));
+        assert!(!a.labeled(l(0)).contains(v(2)));
+    }
+}

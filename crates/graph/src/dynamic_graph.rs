@@ -7,10 +7,17 @@
 //!   idempotent no-ops (returning `false`). Parallel edges between the same
 //!   vertex pair with *different* labels are allowed.
 //! * Adjacency is kept in both directions so the engines can traverse
-//!   upward (toward start vertices) as well as downward.
+//!   upward (toward start vertices) as well as downward. Each direction is a
+//!   label-partitioned index (see [`crate::adjacency`]): neighbors are
+//!   grouped by edge label, so label-qualified lookups touch only one group
+//!   instead of the whole list, and enumeration order is always
+//!   `(label, neighbor)` — deterministic and representation-independent.
 //! * Vertices are never physically removed — the paper's update streams only
 //!   insert/delete edges — but new vertices can appear at any point.
 
+use crate::adjacency::{
+    Adjacency, AdjacencyMode, LabelRuns, LabeledNeighbors, MatchingNeighbors, Neighbors,
+};
 use crate::ids::{LabelId, VertexId};
 use crate::labels::LabelSet;
 use crate::stream::UpdateOp;
@@ -38,10 +45,11 @@ impl EdgeRef {
 #[derive(Clone, Default)]
 pub struct DynamicGraph {
     vertex_labels: Vec<LabelSet>,
-    out: Vec<Vec<(VertexId, LabelId)>>,
-    inc: Vec<Vec<(VertexId, LabelId)>>,
+    out: Vec<Adjacency>,
+    inc: Vec<Adjacency>,
     edges: FxHashSet<EdgeRef>,
     edge_label_counts: Vec<usize>,
+    vertex_label_counts: Vec<usize>,
 }
 
 impl DynamicGraph {
@@ -65,9 +73,15 @@ impl DynamicGraph {
     /// Creates a fresh vertex with the given label set and returns its id.
     pub fn add_vertex(&mut self, labels: LabelSet) -> VertexId {
         let id = VertexId(self.vertex_labels.len() as u32);
+        for l in labels.iter() {
+            if l.index() >= self.vertex_label_counts.len() {
+                self.vertex_label_counts.resize(l.index() + 1, 0);
+            }
+            self.vertex_label_counts[l.index()] += 1;
+        }
         self.vertex_labels.push(labels);
-        self.out.push(Vec::new());
-        self.inc.push(Vec::new());
+        self.out.push(Adjacency::default());
+        self.inc.push(Adjacency::default());
         id
     }
 
@@ -112,8 +126,8 @@ impl DynamicGraph {
         if !self.edges.insert(e) {
             return false;
         }
-        self.out[src.index()].push((dst, label));
-        self.inc[dst.index()].push((src, label));
+        self.out[src.index()].insert(label, dst);
+        self.inc[dst.index()].insert(label, src);
         if label.index() >= self.edge_label_counts.len() {
             self.edge_label_counts.resize(label.index() + 1, 0);
         }
@@ -122,23 +136,18 @@ impl DynamicGraph {
     }
 
     /// Deletes an edge. Returns `false` if the triple was not present.
+    ///
+    /// O(log + |label group|) per direction: the label group is located by
+    /// binary search and only its entries shift (the old flat representation
+    /// scanned the whole O(deg) neighbor list twice).
     pub fn delete_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
         let e = EdgeRef::new(src, label, dst);
         if !self.edges.remove(&e) {
             return false;
         }
-        let out = &mut self.out[src.index()];
-        let pos = out
-            .iter()
-            .position(|&(v, l)| v == dst && l == label)
-            .expect("edge set and adjacency out of sync");
-        out.swap_remove(pos);
-        let inc = &mut self.inc[dst.index()];
-        let pos = inc
-            .iter()
-            .position(|&(v, l)| v == src && l == label)
-            .expect("edge set and adjacency out of sync");
-        inc.swap_remove(pos);
+        let removed_out = self.out[src.index()].remove(label, dst);
+        let removed_in = self.inc[dst.index()].remove(label, src);
+        assert!(removed_out && removed_in, "edge set and adjacency out of sync");
         self.edge_label_counts[label.index()] -= 1;
         true
     }
@@ -154,13 +163,13 @@ impl DynamicGraph {
     pub fn has_edge_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> bool {
         match qlabel {
             Some(l) => self.has_edge(src, l, dst),
-            None => self.out[src.index()].iter().any(|&(v, _)| v == dst),
+            None => self.out[src.index()].any_to(dst),
         }
     }
 
     /// Number of parallel `src → dst` edges matching the query label.
-    /// O(1) for a concrete label (at most one edge per triple), O(deg) for
-    /// a wildcard.
+    /// O(1) for a concrete label (at most one edge per triple); for a
+    /// wildcard, one O(log |group|) probe per distinct out-label of `src`.
     pub fn count_edges_matching(
         &self,
         src: VertexId,
@@ -169,20 +178,73 @@ impl DynamicGraph {
     ) -> usize {
         match qlabel {
             Some(l) => usize::from(self.has_edge(src, l, dst)),
-            None => self.out[src.index()].iter().filter(|&&(v, _)| v == dst).count(),
+            None => self.out[src.index()].count_to(dst),
         }
     }
 
-    /// Out-neighbors of `v` as `(neighbor, edge label)` pairs.
+    /// Out-neighbors of `v` as `(neighbor, edge label)` pairs, in
+    /// `(label, neighbor)` order.
     #[inline]
-    pub fn out_neighbors(&self, v: VertexId) -> &[(VertexId, LabelId)] {
-        &self.out[v.index()]
+    pub fn out_neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        self.out[v.index()].iter()
     }
 
-    /// In-neighbors of `v` as `(neighbor, edge label)` pairs.
+    /// In-neighbors of `v` as `(neighbor, edge label)` pairs, in
+    /// `(label, neighbor)` order.
     #[inline]
-    pub fn in_neighbors(&self, v: VertexId) -> &[(VertexId, LabelId)] {
-        &self.inc[v.index()]
+    pub fn in_neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        self.inc[v.index()].iter()
+    }
+
+    /// Out-neighbors of `v` over edges labeled exactly `label`: a sorted,
+    /// duplicate-free group located in O(log).
+    #[inline]
+    pub fn out_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_> {
+        self.out[v.index()].labeled(label)
+    }
+
+    /// In-neighbors of `v` over edges labeled exactly `label`.
+    #[inline]
+    pub fn in_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_> {
+        self.inc[v.index()].labeled(label)
+    }
+
+    /// Out-neighbors of `v` matching an optional query-edge label, through
+    /// the access path selected by `mode`. Both modes yield the same ids in
+    /// the same order; [`AdjacencyMode::FlatScan`] exists as an ablation
+    /// baseline that walks the whole list.
+    #[inline]
+    pub fn out_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_> {
+        self.out[v.index()].matching(qlabel, mode)
+    }
+
+    /// In-neighbors of `v` matching an optional query-edge label (see
+    /// [`Self::out_neighbors_matching`]).
+    #[inline]
+    pub fn in_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_> {
+        self.inc[v.index()].matching(qlabel, mode)
+    }
+
+    /// True iff `v` has at least one outgoing edge labeled `label`. O(log).
+    #[inline]
+    pub fn has_out_label(&self, v: VertexId, label: LabelId) -> bool {
+        self.out[v.index()].has_label(label)
+    }
+
+    /// True iff `v` has at least one incoming edge labeled `label`. O(log).
+    #[inline]
+    pub fn has_in_label(&self, v: VertexId, label: LabelId) -> bool {
+        self.inc[v.index()].has_label(label)
     }
 
     /// Out-degree of `v`.
@@ -195,6 +257,41 @@ impl DynamicGraph {
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
         self.inc[v.index()].len()
+    }
+
+    /// Number of outgoing edges of `v` labeled `label`. O(log).
+    #[inline]
+    pub fn out_degree_labeled(&self, v: VertexId, label: LabelId) -> usize {
+        self.out[v.index()].labeled(label).len()
+    }
+
+    /// Number of incoming edges of `v` labeled `label`. O(log).
+    #[inline]
+    pub fn in_degree_labeled(&self, v: VertexId, label: LabelId) -> usize {
+        self.inc[v.index()].labeled(label).len()
+    }
+
+    /// Distinct out-edge labels of `v` with their group sizes, label order.
+    #[inline]
+    pub fn out_label_runs(&self, v: VertexId) -> LabelRuns<'_> {
+        self.out[v.index()].label_runs()
+    }
+
+    /// Distinct in-edge labels of `v` with their group sizes, label order.
+    #[inline]
+    pub fn in_label_runs(&self, v: VertexId) -> LabelRuns<'_> {
+        self.inc[v.index()].label_runs()
+    }
+
+    /// True iff `v`'s out-adjacency has promoted to the per-label table
+    /// (diagnostics / tests).
+    pub fn out_is_promoted(&self, v: VertexId) -> bool {
+        self.out[v.index()].is_promoted()
+    }
+
+    /// True iff `v`'s in-adjacency has promoted to the per-label table.
+    pub fn in_is_promoted(&self, v: VertexId) -> bool {
+        self.inc[v.index()].is_promoted()
     }
 
     /// Total degree (in + out) of `v`.
@@ -216,6 +313,12 @@ impl DynamicGraph {
     /// Number of live edges carrying `label`.
     pub fn edge_label_count(&self, label: LabelId) -> usize {
         self.edge_label_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of vertices whose label set contains `label` (maintained on
+    /// vertex creation; vertex labels are immutable).
+    pub fn vertex_label_count(&self, label: LabelId) -> usize {
+        self.vertex_label_counts.get(label.index()).copied().unwrap_or(0)
     }
 
     /// Applies an update operation. Returns `true` if the graph changed.
@@ -242,6 +345,7 @@ impl std::fmt::Debug for DynamicGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adjacency::PROMOTE_DEGREE;
 
     fn l(i: u32) -> LabelId {
         LabelId(i)
@@ -272,6 +376,12 @@ mod tests {
         assert_eq!(g.in_degree(VertexId(1)), 2);
         assert_eq!(g.degree(VertexId(0)), 2);
         assert_eq!(g.edge_label_count(l(7)), 1);
+        assert_eq!(g.out_degree_labeled(VertexId(0), l(7)), 1);
+        assert_eq!(g.in_degree_labeled(VertexId(1), l(8)), 1);
+        assert!(g.has_out_label(VertexId(0), l(8)));
+        assert!(!g.has_out_label(VertexId(0), l(9)));
+        assert!(g.has_in_label(VertexId(1), l(7)));
+        assert!(!g.has_in_label(VertexId(0), l(7)));
     }
 
     #[test]
@@ -284,9 +394,50 @@ mod tests {
         assert_eq!(g.edge_count(), 1);
         assert!(!g.has_edge(VertexId(0), l(1), VertexId(1)));
         assert!(g.has_edge(VertexId(0), l(1), VertexId(2)));
-        assert_eq!(g.out_neighbors(VertexId(0)), &[(VertexId(2), l(1))]);
-        assert_eq!(g.in_neighbors(VertexId(1)), &[]);
+        assert_eq!(g.out_neighbors(VertexId(0)).collect::<Vec<_>>(), vec![(VertexId(2), l(1))]);
+        assert_eq!(g.in_neighbors(VertexId(1)).count(), 0);
         assert_eq!(g.edge_label_count(l(1)), 1);
+    }
+
+    #[test]
+    fn delete_parallel_labeled_edge_on_promoted_vertex() {
+        // A hub with enough fan-out to promote, plus several parallel edges
+        // (distinct labels) to the same neighbor. Deleting one must leave the
+        // others intact and touch only its own label group.
+        let mut g = labeled_graph(2 + PROMOTE_DEGREE);
+        let hub = VertexId(0);
+        let peer = VertexId(1);
+        for i in 0..PROMOTE_DEGREE as u32 {
+            g.insert_edge(hub, l(50), VertexId(2 + i));
+        }
+        for lab in [10, 11, 12] {
+            g.insert_edge(hub, l(lab), peer);
+        }
+        assert!(g.out_is_promoted(hub));
+        assert_eq!(g.count_edges_matching(hub, peer, None), 3);
+
+        assert!(g.delete_edge(hub, l(11), peer));
+        assert!(!g.delete_edge(hub, l(11), peer), "already gone");
+        assert!(g.has_edge(hub, l(10), peer));
+        assert!(g.has_edge(hub, l(12), peer));
+        assert!(!g.has_edge(hub, l(11), peer));
+        assert_eq!(g.count_edges_matching(hub, peer, None), 2);
+        assert_eq!(g.out_degree(hub), PROMOTE_DEGREE + 2);
+        assert_eq!(g.out_degree_labeled(hub, l(50)), PROMOTE_DEGREE, "other group untouched");
+        assert!(g.in_neighbors_labeled(peer, l(11)).is_empty());
+        assert_eq!(g.in_neighbors_labeled(peer, l(10)).collect::<Vec<_>>(), vec![hub]);
+        // The emptied group tombstones and is reusable.
+        assert!(g.insert_edge(hub, l(11), peer));
+        assert_eq!(g.count_edges_matching(hub, peer, None), 3);
+    }
+
+    #[test]
+    fn vertex_label_counts_track_creation() {
+        let g = labeled_graph(7); // labels 0,1,2 round-robin
+        assert_eq!(g.vertex_label_count(l(0)), 3);
+        assert_eq!(g.vertex_label_count(l(1)), 2);
+        assert_eq!(g.vertex_label_count(l(2)), 2);
+        assert_eq!(g.vertex_label_count(l(3)), 0);
     }
 
     #[test]
@@ -296,8 +447,10 @@ mod tests {
         assert_eq!(g.vertex_count(), 4);
         assert!(g.labels(VertexId(0)).is_empty());
         assert!(g.labels(VertexId(3)).contains(l(5)));
+        assert_eq!(g.vertex_label_count(l(5)), 1);
         assert!(!g.ensure_vertex(VertexId(2), LabelSet::single(l(9))), "exists");
         assert!(g.labels(VertexId(2)).is_empty(), "labels unchanged");
+        assert_eq!(g.vertex_label_count(l(9)), 0);
     }
 
     #[test]

@@ -9,18 +9,23 @@
 //! * [`LabelSet`] — a small sorted label set with subset tests, matching the
 //!   paper's `L(u) ⊆ L'(m(u))` semantics,
 //! * [`DynamicGraph`] — an in-memory directed multigraph with per-vertex
-//!   label sets, labeled edges, O(1) amortized insert, O(deg) delete, and
-//!   adjacency iteration in both directions,
+//!   label sets, labeled edges, and label-partitioned adjacency in both
+//!   directions ([`adjacency`]): O(log) insert/delete within a label group
+//!   and O(log + |group|) label-qualified neighbor enumeration,
 //! * [`UpdateOp`] / [`UpdateStream`] — the graph update stream,
 //! * [`stats::GraphStats`] — cardinality statistics used to pick the starting
-//!   query vertex and the query spanning tree.
+//!   query vertex and the query spanning tree, sourced from the index.
 
+pub mod adjacency;
 pub mod dynamic_graph;
 pub mod ids;
 pub mod labels;
 pub mod stats;
 pub mod stream;
 
+pub use adjacency::{
+    AdjacencyMode, LabeledNeighbors, MatchingNeighbors, Neighbors, PROMOTE_DEGREE,
+};
 pub use dynamic_graph::{DynamicGraph, EdgeRef};
 pub use ids::{LabelId, VertexId};
 pub use labels::{LabelInterner, LabelSet};

@@ -2,9 +2,17 @@
 //!
 //! `ChooseStartQVertex` (§4.1) needs, for a query edge `(u, u')`, the number
 //! of data edges matching it, and for a query vertex `u` the number of data
-//! vertices matching it. Queries are registered once per run, so these are
-//! computed with exact single-pass scans at registration time rather than
-//! maintained incrementally.
+//! vertices matching it. The counts stay **exact** — they feed the start-
+//! vertex and spanning-tree choices, which in turn fix delta ordering, so
+//! estimates would silently change output — but they are now sourced from
+//! the graph's maintained counters and label-partitioned adjacency index
+//! instead of full edge-set rescans:
+//!
+//! * wildcard / single-label vertex counts come from the per-label vertex
+//!   counters (O(1)),
+//! * label-only edge counts come from the per-label edge counters (O(1)),
+//! * endpoint-constrained edge counts walk only the matching side's label
+//!   group per vertex instead of filtering every edge in the graph.
 
 use crate::dynamic_graph::DynamicGraph;
 use crate::ids::LabelId;
@@ -29,7 +37,11 @@ impl<'g> GraphStats<'g> {
     /// Number of data vertices `v` with `labels ⊆ L(v)`.
     pub fn matching_vertex_count(&self, labels: &LabelSet) -> usize {
         let g = self.g();
-        g.vertices().filter(|&v| labels.is_subset_of(g.labels(v))).count()
+        match labels.as_slice() {
+            [] => g.vertex_count(),
+            [l] => g.vertex_label_count(*l),
+            _ => g.vertices().filter(|&v| labels.is_subset_of(g.labels(v))).count(),
+        }
     }
 
     /// Number of data edges matching a query edge
@@ -41,13 +53,49 @@ impl<'g> GraphStats<'g> {
         dst_labels: &LabelSet,
     ) -> usize {
         let g = self.g();
-        g.edges()
-            .filter(|e| {
-                qlabel.is_none_or(|ql| ql == e.label)
-                    && src_labels.is_subset_of(g.labels(e.src))
-                    && dst_labels.is_subset_of(g.labels(e.dst))
-            })
-            .count()
+        match (qlabel, src_labels.is_empty(), dst_labels.is_empty()) {
+            (Some(l), true, true) => g.edge_label_count(l),
+            (None, true, true) => g.edge_count(),
+            // dst unconstrained: per matching source, the whole label group
+            // (or full out-degree) counts — no per-neighbor test needed.
+            (ql, false, true) => g
+                .vertices()
+                .filter(|&v| src_labels.is_subset_of(g.labels(v)))
+                .map(|v| match ql {
+                    Some(l) => g.out_degree_labeled(v, l),
+                    None => g.out_degree(v),
+                })
+                .sum(),
+            // src unconstrained: mirror over in-adjacency.
+            (ql, true, false) => g
+                .vertices()
+                .filter(|&v| dst_labels.is_subset_of(g.labels(v)))
+                .map(|v| match ql {
+                    Some(l) => g.in_degree_labeled(v, l),
+                    None => g.in_degree(v),
+                })
+                .sum(),
+            // Both ends constrained: walk the source's label group and test
+            // each neighbor's labels.
+            (Some(l), false, false) => g
+                .vertices()
+                .filter(|&v| src_labels.is_subset_of(g.labels(v)))
+                .map(|v| {
+                    g.out_neighbors_labeled(v, l)
+                        .filter(|&w| dst_labels.is_subset_of(g.labels(w)))
+                        .count()
+                })
+                .sum(),
+            (None, false, false) => g
+                .vertices()
+                .filter(|&v| src_labels.is_subset_of(g.labels(v)))
+                .map(|v| {
+                    g.out_neighbors(v)
+                        .filter(|&(w, _)| dst_labels.is_subset_of(g.labels(w)))
+                        .count()
+                })
+                .sum(),
+        }
     }
 }
 
@@ -93,5 +141,38 @@ mod tests {
         assert_eq!(s.matching_edge_count(&a, None, &b), 2, "wildcard edge label");
         assert_eq!(s.matching_edge_count(&a, Some(l(11)), &LabelSet::empty()), 1);
         assert_eq!(s.matching_edge_count(&b, Some(l(10)), &a), 0, "direction matters");
+        assert_eq!(s.matching_edge_count(&LabelSet::empty(), Some(l(10)), &LabelSet::empty()), 2);
+        assert_eq!(s.matching_edge_count(&LabelSet::empty(), None, &LabelSet::empty()), 3);
+        assert_eq!(s.matching_edge_count(&LabelSet::empty(), Some(l(10)), &b), 2);
+        assert_eq!(s.matching_edge_count(&LabelSet::empty(), None, &b), 2);
+        assert_eq!(s.matching_edge_count(&a, None, &LabelSet::empty()), 3);
+    }
+
+    #[test]
+    fn counts_agree_with_naive_scan_after_updates() {
+        let mut g = setup();
+        g.delete_edge(VertexId(1), l(10), VertexId(2));
+        g.insert_edge(VertexId(2), l(11), VertexId(0));
+        let s = GraphStats::new(&g);
+        let sets = [LabelSet::empty(), LabelSet::single(l(0)), LabelSet::single(l(1))];
+        for src in &sets {
+            for dst in &sets {
+                for ql in [None, Some(l(10)), Some(l(11))] {
+                    let naive = g
+                        .edges()
+                        .filter(|e| {
+                            ql.is_none_or(|q| q == e.label)
+                                && src.is_subset_of(g.labels(e.src))
+                                && dst.is_subset_of(g.labels(e.dst))
+                        })
+                        .count();
+                    assert_eq!(
+                        s.matching_edge_count(src, ql, dst),
+                        naive,
+                        "src {src:?} ql {ql:?} dst {dst:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Backtracking enumeration of homomorphisms / isomorphisms.
 
 use rustc_hash::FxHashSet;
-use tfx_graph::{DynamicGraph, VertexId};
+use tfx_graph::{AdjacencyMode, DynamicGraph, VertexId};
 use tfx_query::{MatchRecord, MatchSemantics, QVertexId, QueryGraph};
 
 use crate::candidates::{candidate_vertices, vertex_matches};
@@ -67,10 +67,15 @@ impl<'a> Search<'a> {
                 continue;
             }
             if let Some(mw) = self.mapping[w.index()] {
-                // edge w -> u: follow out-edges of m(w)
-                let cost = self.g.out_degree(mw);
+                // edge w -> u: follow out-edges of m(w); a concrete edge
+                // label narrows the cost to its own group.
+                let label = self.q.edge(e).label;
+                let cost = match label {
+                    Some(l) => self.g.out_degree_labeled(mw, l),
+                    None => self.g.out_degree(mw),
+                };
                 if best.is_none_or(|(c, _, _, _)| cost < c) {
-                    best = Some((cost, mw, true, self.q.edge(e).label));
+                    best = Some((cost, mw, true, label));
                 }
             }
         }
@@ -80,20 +85,25 @@ impl<'a> Search<'a> {
             }
             if let Some(mw) = self.mapping[w.index()] {
                 // edge u -> w: follow in-edges of m(w)
-                let cost = self.g.in_degree(mw);
+                let label = self.q.edge(e).label;
+                let cost = match label {
+                    Some(l) => self.g.in_degree_labeled(mw, l),
+                    None => self.g.in_degree(mw),
+                };
                 if best.is_none_or(|(c, _, _, _)| cost < c) {
-                    best = Some((cost, mw, false, self.q.edge(e).label));
+                    best = Some((cost, mw, false, label));
                 }
             }
         }
         let (_, pivot, follow_out, label) =
             best.expect("connected matching order guarantees a mapped neighbor");
-        let adj = if follow_out { self.g.out_neighbors(pivot) } else { self.g.in_neighbors(pivot) };
-        let mut out: Vec<VertexId> = adj
-            .iter()
-            .filter(|&&(_, dl)| label.is_none_or(|ql| ql == dl))
-            .map(|&(v, _)| v)
-            .collect();
+        let mut out: Vec<VertexId> = if follow_out {
+            self.g.out_neighbors_matching(pivot, label, AdjacencyMode::Indexed).collect()
+        } else {
+            self.g.in_neighbors_matching(pivot, label, AdjacencyMode::Indexed).collect()
+        };
+        // A concrete label yields one already-sorted, duplicate-free group;
+        // the wildcard path can repeat neighbors across label groups.
         out.sort_unstable();
         out.dedup();
         out

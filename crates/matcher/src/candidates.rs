@@ -28,14 +28,14 @@ pub fn vertex_matches(g: &DynamicGraph, q: &QueryGraph, u: QVertexId, v: VertexI
     }
     for &(_, e) in out_q {
         if let Some(l) = q.edge(e).label {
-            if !g.out_neighbors(v).iter().any(|&(_, dl)| dl == l) {
+            if !g.has_out_label(v, l) {
                 return false;
             }
         }
     }
     for &(_, e) in in_q {
         if let Some(l) = q.edge(e).label {
-            if !g.in_neighbors(v).iter().any(|&(_, dl)| dl == l) {
+            if !g.has_in_label(v, l) {
                 return false;
             }
         }

@@ -19,4 +19,10 @@ cargo test --offline --workspace -q
 echo "=== cargo bench --no-run ==="
 cargo bench --offline --no-run -p tfx-bench
 
+echo "=== adjacency_scan (quick) ==="
+# One short sample per benchmark: catches index/ablation path breakage
+# (panics, mode disagreements) without paying for a full measurement run.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench adjacency_scan
+
 echo "ci: all green"

@@ -1,0 +1,232 @@
+//! Randomized oracle for the label-partitioned adjacency index.
+//!
+//! Two layers of defense:
+//!
+//! * **Structural**: a deterministic Pcg32 stream of interleaved edge
+//!   inserts and deletes — on few vertices with many labels, so degrees
+//!   repeatedly cross the `PROMOTE_DEGREE` small↔promoted boundary — is
+//!   applied to both a [`DynamicGraph`] and a trivially-correct flat
+//!   reference model. Every accessor (full / labeled / mode-filtered
+//!   neighbor iteration, degrees, label membership, edge predicates) must
+//!   agree with the reference at every step, and the two
+//!   [`AdjacencyMode`]s must agree with each other.
+//! * **Behavioral**: the engine ablation flag
+//!   (`TurboFluxConfig::label_indexed_adjacency`) only switches the access
+//!   path over the same storage, so engines with the flag on and off must
+//!   emit byte-identical delta sequences on random query/stream scenarios.
+
+use turboflux::datagen::Pcg32;
+use turboflux::graph::{AdjacencyMode, PROMOTE_DEGREE};
+use turboflux::prelude::*;
+
+/// Flat reference adjacency: per-vertex `(label, neighbor)` lists kept in
+/// the same `(label, neighbor)` sort order the index promises.
+#[derive(Default)]
+struct Reference {
+    out: Vec<Vec<(LabelId, VertexId)>>,
+    inc: Vec<Vec<(LabelId, VertexId)>>,
+}
+
+impl Reference {
+    fn with_vertices(n: usize) -> Self {
+        Reference { out: vec![Vec::new(); n], inc: vec![Vec::new(); n] }
+    }
+
+    fn insert(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        self.out[src.index()].push((label, dst));
+        self.out[src.index()].sort_unstable();
+        self.inc[dst.index()].push((label, src));
+        self.inc[dst.index()].sort_unstable();
+    }
+
+    fn remove(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        self.out[src.index()].retain(|&e| e != (label, dst));
+        self.inc[dst.index()].retain(|&e| e != (label, src));
+    }
+}
+
+fn check_vertex(g: &DynamicGraph, r: &Reference, v: VertexId, labels: &[LabelId]) {
+    for (dir, refl) in [("out", &r.out[v.index()]), ("in", &r.inc[v.index()])] {
+        let full: Vec<(VertexId, LabelId)> =
+            if dir == "out" { g.out_neighbors(v).collect() } else { g.in_neighbors(v).collect() };
+        let want: Vec<(VertexId, LabelId)> = refl.iter().map(|&(l, w)| (w, l)).collect();
+        assert_eq!(full, want, "{dir}-neighbors of {v:?} in (label, neighbor) order");
+        let deg = if dir == "out" { g.out_degree(v) } else { g.in_degree(v) };
+        assert_eq!(deg, refl.len(), "{dir}-degree of {v:?}");
+
+        for &l in labels {
+            let group: Vec<VertexId> = if dir == "out" {
+                g.out_neighbors_labeled(v, l).collect()
+            } else {
+                g.in_neighbors_labeled(v, l).collect()
+            };
+            let want: Vec<VertexId> =
+                refl.iter().filter(|&&(gl, _)| gl == l).map(|&(_, w)| w).collect();
+            assert_eq!(group, want, "{dir}-group {l:?} of {v:?}");
+            let (dl, has) = if dir == "out" {
+                (g.out_degree_labeled(v, l), g.has_out_label(v, l))
+            } else {
+                (g.in_degree_labeled(v, l), g.has_in_label(v, l))
+            };
+            assert_eq!(dl, want.len());
+            assert_eq!(has, !want.is_empty());
+        }
+
+        // Both access modes agree, for concrete labels and the wildcard.
+        for qlabel in labels.iter().copied().map(Some).chain([None]) {
+            let (indexed, flat): (Vec<VertexId>, Vec<VertexId>) = if dir == "out" {
+                (
+                    g.out_neighbors_matching(v, qlabel, AdjacencyMode::Indexed).collect(),
+                    g.out_neighbors_matching(v, qlabel, AdjacencyMode::FlatScan).collect(),
+                )
+            } else {
+                (
+                    g.in_neighbors_matching(v, qlabel, AdjacencyMode::Indexed).collect(),
+                    g.in_neighbors_matching(v, qlabel, AdjacencyMode::FlatScan).collect(),
+                )
+            };
+            assert_eq!(indexed, flat, "mode disagreement: {dir} {v:?} {qlabel:?}");
+            let want: Vec<VertexId> = refl
+                .iter()
+                .filter(|&&(gl, _)| qlabel.is_none_or(|ql| ql == gl))
+                .map(|&(_, w)| w)
+                .collect();
+            assert_eq!(indexed, want, "matching-iterator: {dir} {v:?} {qlabel:?}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_adjacency_matches_flat_reference() {
+    let nv = 6usize;
+    let labels: Vec<LabelId> = (0..10).map(LabelId).collect();
+    let mut rng = Pcg32::new(0xAD7_ACE);
+    let mut g = DynamicGraph::new();
+    for _ in 0..nv {
+        g.add_vertex(LabelSet::empty());
+    }
+    let mut r = Reference::with_vertices(nv);
+    let mut live: Vec<(VertexId, LabelId, VertexId)> = Vec::new();
+    let mut crossed_up = 0usize;
+    let mut deleted_from_promoted = 0usize;
+
+    for step in 0..4000 {
+        // Phased bias so degrees sweep up through the promotion boundary,
+        // back down, and up again (promotion is sticky; deletions after
+        // promotion exercise tombstoned groups).
+        let insert_bias = match step / 1000 {
+            0 | 2 => 8,
+            _ => 3,
+        };
+        if live.is_empty() || rng.below(10) < insert_bias {
+            let src = VertexId(rng.below(nv) as u32);
+            let dst = VertexId(rng.below(nv) as u32);
+            let l = labels[rng.below(labels.len())];
+            let before = g.out_degree(src);
+            if g.insert_edge(src, l, dst) {
+                r.insert(src, l, dst);
+                live.push((src, l, dst));
+                if before == PROMOTE_DEGREE {
+                    crossed_up += 1;
+                }
+            }
+        } else {
+            let (src, l, dst) = live.swap_remove(rng.below(live.len()));
+            if g.out_is_promoted(src) {
+                deleted_from_promoted += 1;
+            }
+            assert!(g.delete_edge(src, l, dst));
+            r.remove(src, l, dst);
+        }
+        if step % 50 == 0 || step + 1 == 4000 {
+            for v in 0..nv {
+                check_vertex(&g, &r, VertexId(v as u32), &labels);
+            }
+            for &(src, l, dst) in &live {
+                assert!(g.has_edge(src, l, dst));
+                assert!(g.has_edge_matching(src, dst, Some(l)));
+                assert!(g.has_edge_matching(src, dst, None));
+                let want = r.out[src.index()].iter().filter(|&&e| e == (l, dst)).count();
+                assert_eq!(g.count_edges_matching(src, dst, Some(l)), want);
+            }
+        }
+    }
+    assert!(crossed_up >= 5, "only {crossed_up} promotions exercised");
+    assert!(
+        deleted_from_promoted >= 100,
+        "only {deleted_from_promoted} deletions hit promoted vertices"
+    );
+}
+
+fn random_query(rng: &mut Pcg32) -> QueryGraph {
+    let nq = 2 + rng.below(3) as u32;
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        q.add_edge(QVertexId(s), QVertexId(d), label);
+    }
+    q
+}
+
+#[test]
+fn ablation_flag_preserves_delta_sequences() {
+    let mut rng = Pcg32::new(0xAB1A7E);
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    for _ in 0..40 {
+        let nv = 3 + rng.below(4) as u32;
+        let mut g0 = DynamicGraph::new();
+        for i in 0..nv {
+            g0.add_vertex(LabelSet::single(LabelId(i % 2)));
+        }
+        for _ in 0..rng.below(8) {
+            let a = VertexId(rng.below(nv as usize) as u32);
+            let b = VertexId(rng.below(nv as usize) as u32);
+            g0.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
+        }
+        let q = random_query(&mut rng);
+        if q.edge_count() == 0 || !q.is_connected() {
+            continue;
+        }
+        exercised += 1;
+
+        let mut ops = Vec::new();
+        let mut live: Vec<(VertexId, LabelId, VertexId)> =
+            g0.edges().map(|e| (e.src, e.label, e.dst)).collect();
+        for _ in 0..(8 + rng.below(12)) {
+            if !live.is_empty() && rng.below(10) < 4 {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            } else {
+                let a = VertexId(rng.below(nv as usize) as u32);
+                let b = VertexId(rng.below(nv as usize) as u32);
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+        }
+
+        let run = |indexed: bool| {
+            let cfg = TurboFluxConfig { label_indexed_adjacency: indexed, ..Default::default() };
+            let mut engine = TurboFlux::new(q.clone(), g0.clone(), cfg);
+            let mut out: Vec<(usize, Positiveness, MatchRecord)> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                engine.apply_op(op, &mut |p, m| out.push((i, p, m.clone())));
+            }
+            out
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "ablation flag changed the delta sequence");
+        if !on.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 20, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 5, "only {nonempty} scenarios produced matches");
+}
