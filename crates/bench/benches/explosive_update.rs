@@ -1,0 +1,121 @@
+//! Intra-update parallel enumeration vs the sequential ablation.
+//!
+//! Two layers:
+//!
+//! * `explosive_update` — the tentpole scenario: a star-of-stars where one
+//!   feed insert completes `mids × leaves` matches at once, with `mids`
+//!   explicit candidates at the parallel split depth. `workers/1` is the
+//!   sequential baseline; `workers/4` fans the frontier out across scoped
+//!   threads (deltas are byte-identical either way, so the two series are
+//!   directly comparable). Speedup requires real cores — on a single-core
+//!   host the parallel series only measures the fan-out overhead.
+//! * `small_frontier_fallback` — the same shape shrunk below the default
+//!   `parallel_min_frontier`, so a `workers/4` engine must take the
+//!   sequential path; any gap between the two series here is pure
+//!   regression in the fallback gate.
+//!
+//! Both streams are self-inverting (insert + delete of the feed edge), so
+//! graph, DCG, and engine return to their initial state every iteration
+//! and nothing is cloned inside the measurement loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tfx_core::{TurboFlux, TurboFluxConfig};
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, VertexId};
+use tfx_query::QueryGraph;
+
+/// Source `a:A`, hub `h:H`, `mids` M-vertices each with `leaves`
+/// L-children, pre-wired below the hub; query `A -f-> H -m-> M -l-> L`.
+/// Returns the feed edge whose insertion completes `mids × leaves`
+/// matches in one update.
+fn star_of_stars(
+    mids: u32,
+    leaves: u32,
+) -> (DynamicGraph, QueryGraph, (VertexId, LabelId, VertexId)) {
+    let (f, m, lv) = (LabelId(10), LabelId(11), LabelId(12));
+    let mut g = DynamicGraph::new();
+    let a = g.add_vertex(LabelSet::single(LabelId(0)));
+    let h = g.add_vertex(LabelSet::single(LabelId(1)));
+    for _ in 0..mids {
+        let mid = g.add_vertex(LabelSet::single(LabelId(2)));
+        g.insert_edge(h, m, mid);
+        for _ in 0..leaves {
+            let leaf = g.add_vertex(LabelSet::single(LabelId(3)));
+            g.insert_edge(mid, lv, leaf);
+        }
+    }
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(LabelId(0)));
+    let u1 = q.add_vertex(LabelSet::single(LabelId(1)));
+    let u2 = q.add_vertex(LabelSet::single(LabelId(2)));
+    let u3 = q.add_vertex(LabelSet::single(LabelId(3)));
+    q.add_edge(u0, u1, Some(f));
+    q.add_edge(u1, u2, Some(m));
+    q.add_edge(u2, u3, Some(lv));
+    (g, q, (a, f, h))
+}
+
+/// One self-inverting feed cycle: insert (explodes positives), delete
+/// (retracts the same set). Returns the delta count as an optimization
+/// barrier.
+fn feed_cycle(
+    e: &mut TurboFlux,
+    g: &mut DynamicGraph,
+    (src, label, dst): (VertexId, LabelId, VertexId),
+) -> u64 {
+    let mut n = 0u64;
+    g.insert_edge(src, label, dst);
+    e.eval_inserted_edge(g, src, label, dst, &mut |_, _| n += 1);
+    e.eval_deleting_edge(g, src, label, dst, &mut |_, _| n += 1);
+    g.delete_edge(src, label, dst);
+    n
+}
+
+fn explosive_update(c: &mut Criterion) {
+    const MIDS: u32 = 256;
+    const LEAVES: u32 = 64;
+    let (g0, q, feed) = star_of_stars(MIDS, LEAVES);
+
+    let mut group = c.benchmark_group("explosive_update");
+    group.sample_size(10);
+    // Deltas per iteration: positives plus negatives.
+    group.throughput(Throughput::Elements(2 * (MIDS as u64) * (LEAVES as u64)));
+    for workers in [1usize, 4] {
+        let cfg = TurboFluxConfig {
+            parallel_workers: workers,
+            parallel_min_frontier: 16, // MIDS ≫ 16: always fan out
+            ..Default::default()
+        };
+        let mut g = g0.clone();
+        let mut e = TurboFlux::register(q.clone(), &g, cfg);
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| black_box(feed_cycle(&mut e, &mut g, feed)));
+        });
+    }
+    group.finish();
+}
+
+fn small_frontier_fallback(c: &mut Criterion) {
+    const MIDS: u32 = 4; // below the default parallel_min_frontier
+    const LEAVES: u32 = 4;
+    let (g0, q, feed) = star_of_stars(MIDS, LEAVES);
+
+    let mut group = c.benchmark_group("small_frontier_fallback");
+    group.throughput(Throughput::Elements(2 * (MIDS as u64) * (LEAVES as u64)));
+    for workers in [1usize, 4] {
+        let cfg = TurboFluxConfig { parallel_workers: workers, ..Default::default() };
+        assert!(
+            (MIDS as usize) < cfg.parallel_min_frontier,
+            "fallback group must stay under the threshold"
+        );
+        let mut g = g0.clone();
+        let mut e = TurboFlux::register(q.clone(), &g, cfg);
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| black_box(feed_cycle(&mut e, &mut g, feed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, explosive_update, small_frontier_fallback);
+criterion_main!(benches);

@@ -31,6 +31,19 @@ pub struct TurboFluxConfig {
     /// deltas are identical either way, so this exists purely as an
     /// ablation switch for benchmarking the index.
     pub label_indexed_adjacency: bool,
+    /// Worker threads for intra-update parallel match enumeration: a single
+    /// update whose explicit DCG frontier (or initial root-candidate set)
+    /// is at least [`Self::parallel_min_frontier`] wide is split into
+    /// chunks evaluated on scoped worker threads, with deltas merged in
+    /// chunk order so output stays byte-identical to sequential
+    /// evaluation. `0` means one worker per available core; `1` disables
+    /// parallelism. A [`crate::fleet::Fleet`] additionally caps this so
+    /// fleet-level × update-level workers never exceed its thread budget.
+    pub parallel_workers: usize,
+    /// Minimum frontier width before an update fans out; narrower
+    /// frontiers run sequentially so small updates never pay thread-spawn
+    /// cost (and stay allocation-free).
+    pub parallel_min_frontier: usize,
 }
 
 impl Default for TurboFluxConfig {
@@ -42,6 +55,8 @@ impl Default for TurboFluxConfig {
             order_drift_floor: 64,
             incremental_drift_check: true,
             label_indexed_adjacency: true,
+            parallel_workers: 0,
+            parallel_min_frontier: 64,
         }
     }
 }
@@ -74,6 +89,8 @@ mod tests {
         assert!(c.adjust_matching_order);
         assert!(c.incremental_drift_check);
         assert!(c.label_indexed_adjacency);
+        assert_eq!(c.parallel_workers, 0, "auto-sized by default");
+        assert!(c.parallel_min_frontier > 1, "small updates stay sequential");
         assert_eq!(c.adjacency_mode(), AdjacencyMode::Indexed);
         let flat = TurboFluxConfig { label_indexed_adjacency: false, ..c };
         assert_eq!(flat.adjacency_mode(), AdjacencyMode::FlatScan);

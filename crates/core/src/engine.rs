@@ -19,19 +19,25 @@
 //!   evaluation. Internally the standalone mode is the externally driven
 //!   mode applied to the engine's own graph.
 
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use rustc_hash::FxHashMap;
 use tfx_graph::{DynamicGraph, GraphStats, LabelId, LabelSet, UpdateOp, VertexId};
 use tfx_query::{
-    choose_start_vertex, ContinuousMatcher, EdgeId, MatchRecord, Positiveness, QVertexId,
-    QueryGraph, QueryTree,
+    choose_start_vertex, ContinuousMatcher, EdgeId, MatchRecord, MatchSemantics, Positiveness,
+    QVertexId, QueryGraph, QueryTree,
 };
 
 use crate::config::TurboFluxConfig;
 use crate::dcg::{Dcg, EdgeState};
 use crate::order::OrderMaintenance;
+use crate::parallel::ScratchPool;
 use crate::scratch::SearchScratch;
 use crate::tree_nav::collect_child_candidates;
 
-/// How many search steps between wall-clock deadline checks.
+/// How many search steps between wall-clock deadline checks (power of two:
+/// the shared step counter is masked, not reset, so concurrent search
+/// workers can bump it without coordination).
 const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 /// A continuous subgraph matching engine maintaining a data-centric graph.
@@ -49,18 +55,38 @@ pub struct TurboFlux {
     pub(crate) child_mask: Vec<u64>,
     /// Non-tree query edges incident to each query vertex.
     pub(crate) non_tree_incident: Vec<Vec<EdgeId>>,
+    /// Query edges bucketed by their concrete edge label, so
+    /// `matching_query_edges` only inspects edges whose label can match
+    /// the updated data edge instead of scanning all of `E(q)`. Endpoint
+    /// label-set containment is a per-update predicate (data vertices
+    /// carry label *sets*), so it stays a per-candidate check.
+    pub(crate) qedge_by_label: FxHashMap<LabelId, Vec<EdgeId>>,
+    /// Query edges with no label constraint (match any data label).
+    pub(crate) qedge_wildcard: Vec<EdgeId>,
     /// Drift detection for `AdjustMatchingOrder`.
     pub(crate) order_maint: OrderMaintenance,
     /// Reusable buffers for the per-update hot path (embedding, candidate
     /// stacks, edge snapshots); steady-state updates allocate nothing.
     pub(crate) scratch: SearchScratch,
+    /// Per-worker scratches and delta buffers for intra-update parallel
+    /// enumeration, checked out under `&self` from scoped worker threads.
+    pub(crate) pool: ScratchPool,
+    /// `available_parallelism()` resolved once at registration (the `0 =
+    /// auto` meaning of [`TurboFluxConfig::parallel_workers`]).
+    pub(crate) auto_workers: usize,
+    /// External cap on intra-update workers, set by a
+    /// [`crate::fleet::Fleet`] so nested parallelism cannot oversubscribe
+    /// its thread budget.
+    pub(crate) worker_budget: usize,
     /// Optional wall-clock deadline (benchmark timeouts); checked
     /// periodically inside the search.
     pub(crate) deadline: Option<std::time::Instant>,
-    /// Countdown until the next deadline check.
-    pub(crate) deadline_tick: std::cell::Cell<u32>,
+    /// Search steps since the deadline was set, bumped from every search
+    /// worker; a wall-clock probe runs every `DEADLINE_CHECK_INTERVAL`
+    /// steps.
+    pub(crate) deadline_tick: AtomicU32,
     /// Latched once the deadline passed; the engine stops enumerating.
-    pub(crate) deadline_hit: std::cell::Cell<bool>,
+    pub(crate) deadline_hit: AtomicBool,
 }
 
 impl TurboFlux {
@@ -105,17 +131,32 @@ impl TurboFlux {
                 non_tree_incident[qe.dst.index()].push(e);
             }
         }
+        let mut qedge_by_label: FxHashMap<LabelId, Vec<EdgeId>> = FxHashMap::default();
+        let mut qedge_wildcard = Vec::new();
+        for i in 0..q.edge_count() as u32 {
+            let e = EdgeId(i);
+            match q.edge(e).label {
+                Some(l) => qedge_by_label.entry(l).or_default().push(e),
+                None => qedge_wildcard.push(e),
+            }
+        }
 
+        let track_bound = cfg.semantics == MatchSemantics::Isomorphism;
         let mut engine = TurboFlux {
             dcg: Dcg::new(nq, us),
             mo: Vec::new(),
             child_mask,
             non_tree_incident,
+            qedge_by_label,
+            qedge_wildcard,
             order_maint: OrderMaintenance::default(),
-            scratch: SearchScratch::for_query(nq),
+            scratch: SearchScratch::for_query(nq, track_bound),
+            pool: ScratchPool::default(),
+            auto_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            worker_budget: usize::MAX,
             deadline: None,
-            deadline_tick: std::cell::Cell::new(DEADLINE_CHECK_INTERVAL),
-            deadline_hit: std::cell::Cell::new(false),
+            deadline_tick: AtomicU32::new(0),
+            deadline_hit: AtomicBool::new(false),
             g: DynamicGraph::default(),
             q,
             tree,
@@ -166,27 +207,49 @@ impl TurboFlux {
     /// benchmark harness to bound single explosive updates.
     pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.deadline = deadline;
-        self.deadline_tick.set(DEADLINE_CHECK_INTERVAL);
-        self.deadline_hit.set(false);
+        // 0 makes the very next probe's `fetch_add` return a masked zero,
+        // i.e. the clock is consulted immediately after (re)arming.
+        self.deadline_tick.store(0, Ordering::Relaxed);
+        self.deadline_hit.store(false, Ordering::Relaxed);
     }
 
-    /// Cheap periodic deadline probe (called from the search hot loop).
+    /// Caps intra-update parallelism regardless of the configured
+    /// [`TurboFluxConfig::parallel_workers`]. A [`crate::fleet::Fleet`]
+    /// sets this before fanning a batch out over its own workers so the
+    /// two parallelism layers multiply to at most its thread budget.
+    pub fn set_worker_budget(&mut self, workers: usize) {
+        self.worker_budget = workers.max(1);
+    }
+
+    /// Effective intra-update worker count: the config knob (0 = one per
+    /// available core) clamped by the external budget.
+    #[inline]
+    pub(crate) fn intra_workers(&self) -> usize {
+        let configured = match self.cfg.parallel_workers {
+            0 => self.auto_workers,
+            n => n,
+        };
+        configured.min(self.worker_budget).max(1)
+    }
+
+    /// Cheap periodic deadline probe (called from the search hot loop,
+    /// possibly from several worker threads at once — the step counter is
+    /// a shared atomic and the hit flag a monotonic latch, so probes never
+    /// need coordination; the cadence just degrades to approximately every
+    /// `DEADLINE_CHECK_INTERVAL` steps per worker group).
     #[inline]
     pub(crate) fn deadline_exceeded(&self) -> bool {
-        if self.deadline_hit.get() {
+        if self.deadline_hit.load(Ordering::Relaxed) {
             return true;
         }
         let Some(deadline) = self.deadline else {
             return false;
         };
-        let tick = self.deadline_tick.get();
-        if tick > 0 {
-            self.deadline_tick.set(tick - 1);
+        if self.deadline_tick.fetch_add(1, Ordering::Relaxed) & (DEADLINE_CHECK_INTERVAL - 1) != 0 {
             return false;
         }
-        self.deadline_tick.set(DEADLINE_CHECK_INTERVAL);
         if std::time::Instant::now() >= deadline {
-            self.deadline_hit.set(true);
+            self.deadline_hit.store(true, Ordering::Relaxed);
             return true;
         }
         false
@@ -284,18 +347,31 @@ impl TurboFlux {
 
     /// Reports all matches of the initial data graph against a borrowed
     /// graph (externally driven mode; `g` must be the graph the DCG was
-    /// built from).
+    /// built from). When the explicit root-candidate set is wide enough
+    /// the candidates are partitioned across worker threads ([`crate::parallel`]);
+    /// emission order is the candidate (= vertex id) order either way.
     pub fn initial_matches_in(&mut self, g: &DynamicGraph, sink: &mut dyn FnMut(&MatchRecord)) {
         let us = self.tree.root();
         let ctx = crate::search::SearchCtx::initial();
         let mut scratch = std::mem::take(&mut self.scratch);
-        for vs in g.vertices() {
-            if self.dcg.root_state(vs) == Some(EdgeState::Explicit) {
-                scratch.m[us.index()] = Some(vs);
+        scratch.kids.clear();
+        scratch.kids.extend(
+            g.vertices().filter(|&vs| self.dcg.root_state(vs) == Some(EdgeState::Explicit)),
+        );
+        let workers = self.intra_workers();
+        if workers > 1 && scratch.kids.len() >= self.cfg.parallel_min_frontier {
+            let kids = std::mem::take(&mut scratch.kids);
+            self.search_chunked_roots(g, &ctx, &kids, &mut scratch, workers, &mut |_p, r| sink(r));
+            scratch.kids = kids;
+        } else {
+            for i in 0..scratch.kids.len() {
+                let vs = scratch.kids[i];
+                scratch.bind(us, vs);
                 self.subgraph_search(g, 0, &ctx, &mut scratch, &mut |_p, r| sink(r));
-                scratch.m[us.index()] = None;
+                scratch.unbind(us);
             }
         }
+        scratch.kids.clear();
         self.scratch = scratch;
     }
 
@@ -375,7 +451,8 @@ impl TurboFlux {
     /// Fills `scratch.tree_edges` / `scratch.non_tree` with the query edges
     /// matching the data edge `(src, label, dst)`, in processing order
     /// (tree edges by ascending order key, then non-tree edges by ascending
-    /// id).
+    /// id). Only the label bucket built at registration (plus the
+    /// label-wildcard edges) is inspected, not all of `E(q)`.
     pub(crate) fn matching_query_edges(
         &self,
         g: &DynamicGraph,
@@ -386,8 +463,8 @@ impl TurboFlux {
     ) {
         scratch.tree_edges.clear();
         scratch.non_tree.clear();
-        for i in 0..self.q.edge_count() as u32 {
-            let e = EdgeId(i);
+        let bucket = self.qedge_by_label.get(&label).map_or(&[][..], Vec::as_slice);
+        for &e in bucket.iter().chain(&self.qedge_wildcard) {
             if self.q.edge_matches(g, e, src, label, dst) {
                 if self.tree.is_tree_edge(e) {
                     scratch.tree_edges.push(e);
@@ -397,8 +474,10 @@ impl TurboFlux {
             }
         }
         // Order keys are unique per edge, so the unstable (allocation-free)
-        // sort is deterministic.
+        // sorts are deterministic. The non-tree sort restores ascending id
+        // order across the bucket/wildcard interleave.
         scratch.tree_edges.sort_unstable_by_key(|&e| self.edge_order_key(e));
+        scratch.non_tree.sort_unstable_by_key(|&e| e.0);
     }
 
     /// For a matching *tree* edge, the (tree-parent-side, child-side) data
@@ -436,7 +515,7 @@ impl ContinuousMatcher for TurboFlux {
     }
 
     fn timed_out(&self) -> bool {
-        self.deadline_hit.get()
+        self.deadline_hit.load(Ordering::Relaxed)
     }
 
     fn name(&self) -> &'static str {

@@ -179,8 +179,14 @@ impl Fleet {
 
     /// Registers a query against the current graph state, building its DCG.
     /// Returns the engine id used in [`FleetDelta::engine`].
+    ///
+    /// Fleet engines are capped to the fleet's thread budget for
+    /// intra-update parallelism; [`Fleet::apply_batch`] tightens the cap
+    /// further while several engines evaluate concurrently.
     pub fn register(&mut self, q: QueryGraph, cfg: TurboFluxConfig) -> usize {
-        self.engines.push(TurboFlux::register(q, &self.graph, cfg));
+        let mut engine = TurboFlux::register(q, &self.graph, cfg);
+        engine.set_worker_budget(self.threads);
+        self.engines.push(engine);
         self.engines.len() - 1
     }
 
@@ -219,6 +225,15 @@ impl Fleet {
         let workers = self.threads.min(self.engines.len());
         if workers <= 1 || ops.is_empty() {
             return self.apply_batch_sequential(ops, sink);
+        }
+        // Nested parallelism cap: with `workers` fleet threads evaluating
+        // engines concurrently, each engine's intra-update fan-out gets an
+        // equal share so fleet × update workers never exceed the budget.
+        // Intra-update output is byte-identical for any worker count, so
+        // the cap cannot perturb the emitted delta order.
+        let budget = (self.threads / workers).max(1);
+        for engine in &mut self.engines {
+            engine.set_worker_budget(budget);
         }
         let nengines = self.engines.len();
         let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
@@ -290,6 +305,10 @@ impl Fleet {
     ) {
         let mut bufs: Vec<Vec<Pending>> =
             std::iter::repeat_with(Vec::new).take(self.engines.len()).collect();
+        // Engines run one at a time here, so each may use the full budget.
+        for engine in &mut self.engines {
+            engine.set_worker_budget(self.threads);
+        }
         for (op_index, op) in ops.iter().enumerate() {
             let round = stage(&mut self.graph, op);
             for (i, engine) in self.engines.iter_mut().enumerate() {

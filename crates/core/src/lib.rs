@@ -39,6 +39,7 @@ pub mod fleet;
 mod ops_delete;
 mod ops_insert;
 pub mod order;
+mod parallel;
 mod scratch;
 mod search;
 pub mod spec;

@@ -48,7 +48,7 @@ impl TurboFlux {
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
         self.matching_query_edges(g, src, label, dst, scratch);
-        debug_assert!(scratch.m.iter().all(Option::is_none));
+        scratch.assert_unbound();
 
         for i in 0..scratch.tree_edges.len() {
             let e = scratch.tree_edges[i];
@@ -68,9 +68,9 @@ impl TurboFlux {
                 && self.match_all_children(pv, up)
             {
                 let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
-                scratch.m[uc.index()] = Some(cv);
+                scratch.bind(uc, cv);
                 self.clear_upwards(g, up, pv, Some(uc), &ctx, true, scratch, sink);
-                scratch.m[uc.index()] = None;
+                scratch.unbind(uc);
             }
             // Transitions 3/5 downward.
             self.clear_dcg(Some(pv), uc, cv, scratch);
@@ -92,11 +92,11 @@ impl TurboFlux {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
             let looped = qe.src == qe.dst;
             if !looped {
-                scratch.m[qe.dst.index()] = Some(dst);
+                scratch.bind(qe.dst, dst);
             }
             self.clear_upwards(g, qe.src, src, None, &ctx, false, scratch, sink);
             if !looped {
-                scratch.m[qe.dst.index()] = None;
+                scratch.unbind(qe.dst);
             }
         }
     }
@@ -128,12 +128,11 @@ impl TurboFlux {
         // explicit outgoing edge labeled `expiring_child` left.
         let precondition =
             ft && expiring_child.is_some_and(|uc| self.dcg.out_expl_count(v, uc) == 1);
-        let prev = scratch.m[u.index()];
-        scratch.m[u.index()] = Some(v);
+        let prev = scratch.rebind(u, Some(v));
         let us = self.tree.root();
         if u == us {
             if self.dcg.root_state(v) == Some(EdgeState::Explicit) {
-                self.subgraph_search(g, 0, ctx, scratch, sink);
+                self.search_from_root(g, ctx, scratch, sink);
                 if precondition {
                     self.dcg.transit(None, u, v, Some(EdgeState::Implicit));
                 }
@@ -160,6 +159,6 @@ impl TurboFlux {
             }
             scratch.climb.truncate(start);
         }
-        scratch.m[u.index()] = prev;
+        scratch.rebind(u, prev);
     }
 }

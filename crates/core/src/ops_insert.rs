@@ -41,7 +41,7 @@ impl TurboFlux {
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
         self.matching_query_edges(g, src, label, dst, scratch);
-        debug_assert!(scratch.m.iter().all(Option::is_none));
+        scratch.assert_unbound();
 
         for i in 0..scratch.tree_edges.len() {
             let e = scratch.tree_edges[i];
@@ -67,9 +67,9 @@ impl TurboFlux {
                 && self.match_all_children(pv, up)
             {
                 let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
-                scratch.m[uc.index()] = Some(cv);
+                scratch.bind(uc, cv);
                 self.build_upwards(g, up, pv, &ctx, true, scratch, sink);
-                scratch.m[uc.index()] = None;
+                scratch.unbind(uc);
             }
         }
 
@@ -91,13 +91,13 @@ impl TurboFlux {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
             let looped = qe.src == qe.dst;
             if !looped {
-                scratch.m[qe.dst.index()] = Some(dst);
+                scratch.bind(qe.dst, dst);
             }
             // Traverse upward from qe.src without modifying the DCG: a
             // non-tree edge never changes intermediate results.
             self.build_upwards(g, qe.src, src, &ctx, false, scratch, sink);
             if !looped {
-                scratch.m[qe.dst.index()] = None;
+                scratch.unbind(qe.dst);
             }
         }
     }
@@ -131,18 +131,17 @@ impl TurboFlux {
                 return;
             }
         }
-        let prev = scratch.m[u.index()];
-        scratch.m[u.index()] = Some(v);
+        let prev = scratch.rebind(u, Some(v));
         let us = self.tree.root();
         if u == us {
             // The single incoming edge is the artificial start edge.
             match self.dcg.root_state(v) {
                 Some(EdgeState::Implicit) if ft => {
                     self.dcg.transit(None, u, v, Some(EdgeState::Explicit));
-                    self.subgraph_search(g, 0, ctx, scratch, sink);
+                    self.search_from_root(g, ctx, scratch, sink);
                 }
                 Some(EdgeState::Explicit) => {
-                    self.subgraph_search(g, 0, ctx, scratch, sink);
+                    self.search_from_root(g, ctx, scratch, sink);
                 }
                 _ => {}
             }
@@ -169,6 +168,6 @@ impl TurboFlux {
             }
             scratch.climb.truncate(start);
         }
-        scratch.m[u.index()] = prev;
+        scratch.rebind(u, prev);
     }
 }

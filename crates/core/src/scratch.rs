@@ -7,6 +7,8 @@
 //! data edge. Allocating them per update dominated the cost of small
 //! updates, so they live in one [`SearchScratch`] owned by the engine and
 //! threaded through `search.rs`, `ops_insert.rs` and `ops_delete.rs`.
+//! Intra-update parallel enumeration (`parallel.rs`) checks additional
+//! scratches out of a pool, one per worker thread.
 //!
 //! The recursive walks use **segmented stacks**: a recursion level records
 //! `buf.len()` on entry, appends its snapshot, iterates it by index (inner
@@ -14,9 +16,15 @@
 //! truncates to the recorded length on exit. One long-lived `Vec` thus
 //! serves arbitrarily deep recursion without per-level allocation once its
 //! high-water capacity is reached.
+//!
+//! Under isomorphism semantics the scratch additionally maintains a
+//! multiplicity map of the data vertices currently bound in `m`, updated at
+//! every bind/unbind, so `IsJoinable`'s injectivity test is an O(1) lookup
+//! instead of an O(|q|) scan over the embedding.
 
+use rustc_hash::FxHashMap;
 use tfx_graph::VertexId;
-use tfx_query::{EdgeId, MatchRecord};
+use tfx_query::{EdgeId, MatchRecord, QVertexId};
 
 use crate::dcg::EdgeState;
 
@@ -24,6 +32,8 @@ use crate::dcg::EdgeState;
 #[derive(Default, Debug)]
 pub(crate) struct SearchScratch {
     /// Partial embedding `m : V(q) → V(g)`, indexed by query vertex id.
+    /// Written through [`SearchScratch::bind`] / [`SearchScratch::rebind`]
+    /// so the bound-vertex multiplicities below stay in sync.
     pub(crate) m: Vec<Option<VertexId>>,
     /// Match record reused across reports.
     pub(crate) rec: MatchRecord,
@@ -35,11 +45,155 @@ pub(crate) struct SearchScratch {
     pub(crate) tree_edges: Vec<EdgeId>,
     /// Non-tree query edges matching the current updated data edge.
     pub(crate) non_tree: Vec<EdgeId>,
+    /// How many entries of `m` currently map to each data vertex. Only
+    /// maintained when `track_bound` is set (isomorphism semantics);
+    /// inserts and removals balance, so the map stays at its high-water
+    /// capacity and steady-state updates never allocate.
+    bound: FxHashMap<VertexId, u32>,
+    /// Maintain `bound` at bind/unbind (isomorphism only).
+    track_bound: bool,
 }
 
 impl SearchScratch {
-    /// Scratch sized for a query with `nq` vertices.
-    pub(crate) fn for_query(nq: usize) -> Self {
-        SearchScratch { m: vec![None; nq], ..Default::default() }
+    /// Scratch sized for a query with `nq` vertices. `track_bound` enables
+    /// the bound-vertex multiplicity map (isomorphism injectivity checks).
+    pub(crate) fn for_query(nq: usize, track_bound: bool) -> Self {
+        SearchScratch { m: vec![None; nq], track_bound, ..Default::default() }
+    }
+
+    /// Sets `m(u) = v`, replacing (and returning) any previous binding.
+    /// The multiplicity map follows when tracking is on.
+    pub(crate) fn rebind(&mut self, u: QVertexId, v: Option<VertexId>) -> Option<VertexId> {
+        let prev = std::mem::replace(&mut self.m[u.index()], v);
+        if self.track_bound && prev != v {
+            if let Some(w) = prev {
+                let n = self.bound.get_mut(&w).expect("bound count for a mapped vertex");
+                *n -= 1;
+                if *n == 0 {
+                    self.bound.remove(&w);
+                }
+            }
+            if let Some(w) = v {
+                *self.bound.entry(w).or_insert(0) += 1;
+            }
+        }
+        prev
+    }
+
+    /// Binds `m(u) = v`; `u` must be unbound.
+    #[inline]
+    pub(crate) fn bind(&mut self, u: QVertexId, v: VertexId) {
+        let prev = self.rebind(u, Some(v));
+        debug_assert!(prev.is_none(), "bind over an existing binding");
+    }
+
+    /// Clears the binding of `u` (which must be bound).
+    #[inline]
+    pub(crate) fn unbind(&mut self, u: QVertexId) {
+        let prev = self.rebind(u, None);
+        debug_assert!(prev.is_some(), "unbind of an unbound vertex");
+    }
+
+    /// True iff `v` is the image of some query vertex *other than* `u` in
+    /// the current partial embedding — the isomorphism injectivity test.
+    /// O(1) via the multiplicity map when tracking is on, O(|q|) scan
+    /// otherwise (homomorphism engines never ask).
+    #[inline]
+    pub(crate) fn bound_elsewhere(&self, u: QVertexId, v: VertexId) -> bool {
+        let own = u32::from(self.m[u.index()] == Some(v));
+        if self.track_bound {
+            self.bound.get(&v).copied().unwrap_or(0) > own
+        } else {
+            self.m.iter().filter(|&&mv| mv == Some(v)).count() as u32 > own
+        }
+    }
+
+    /// Copies the partial embedding (and its multiplicities) from `src`,
+    /// discarding previous bindings. Allocation-free once capacities are
+    /// warm; used to seed per-worker scratches from the driver's scratch.
+    pub(crate) fn copy_bindings_from(&mut self, src: &SearchScratch) {
+        self.m.clear();
+        self.m.extend_from_slice(&src.m);
+        self.track_bound = src.track_bound;
+        self.bound.clear();
+        if self.track_bound {
+            for v in self.m.iter().flatten() {
+                *self.bound.entry(*v).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Debug invariant: no live bindings (update evaluation fully unwound).
+    pub(crate) fn assert_unbound(&self) {
+        debug_assert!(self.m.iter().all(Option::is_none));
+        debug_assert!(self.bound.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> QVertexId {
+        QVertexId(i)
+    }
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn bind_unbind_tracks_multiplicity() {
+        let mut s = SearchScratch::for_query(4, true);
+        assert!(!s.bound_elsewhere(u(0), v(7)));
+        s.bind(u(0), v(7));
+        assert!(!s.bound_elsewhere(u(0), v(7)), "own binding is not 'elsewhere'");
+        assert!(s.bound_elsewhere(u(1), v(7)));
+        // A second query vertex mapping the same data vertex (legal under
+        // homomorphism) raises the count past the own-binding allowance.
+        s.bind(u(1), v(7));
+        assert!(s.bound_elsewhere(u(0), v(7)));
+        s.unbind(u(1));
+        assert!(!s.bound_elsewhere(u(0), v(7)));
+        s.unbind(u(0));
+        s.assert_unbound();
+    }
+
+    #[test]
+    fn rebind_handles_equal_and_distinct_previous_bindings() {
+        let mut s = SearchScratch::for_query(3, true);
+        s.bind(u(2), v(5));
+        // Rebinding to the same vertex is a no-op for the counts.
+        assert_eq!(s.rebind(u(2), Some(v(5))), Some(v(5)));
+        assert!(s.bound_elsewhere(u(0), v(5)));
+        // Rebinding to a different vertex moves the count.
+        assert_eq!(s.rebind(u(2), Some(v(6))), Some(v(5)));
+        assert!(!s.bound_elsewhere(u(0), v(5)));
+        assert!(s.bound_elsewhere(u(0), v(6)));
+        assert_eq!(s.rebind(u(2), None), Some(v(6)));
+        s.assert_unbound();
+    }
+
+    #[test]
+    fn untracked_scratch_falls_back_to_scan() {
+        let mut s = SearchScratch::for_query(3, false);
+        s.bind(u(0), v(9));
+        assert!(s.bound_elsewhere(u(1), v(9)));
+        assert!(!s.bound_elsewhere(u(0), v(9)));
+        assert!(s.bound.is_empty(), "no map maintenance when tracking is off");
+        s.unbind(u(0));
+    }
+
+    #[test]
+    fn copy_bindings_rebuilds_multiplicities() {
+        let mut a = SearchScratch::for_query(4, true);
+        a.bind(u(1), v(3));
+        a.bind(u(2), v(3));
+        let mut b = SearchScratch::for_query(4, true);
+        b.bind(u(0), v(8)); // stale binding must be discarded
+        b.copy_bindings_from(&a);
+        assert_eq!(b.m, a.m);
+        assert!(b.bound_elsewhere(u(1), v(3)));
+        assert!(!b.bound_elsewhere(u(0), v(8)));
     }
 }

@@ -97,22 +97,21 @@ impl TurboFlux {
 
     /// `IsJoinable`: checks injectivity (isomorphism only) and every
     /// non-tree query edge between `u` and already-mapped query vertices,
-    /// including the order rule above.
+    /// including the order rule above. The injectivity test is an O(1)
+    /// lookup in the scratch's bound-vertex multiplicity map (maintained at
+    /// bind/unbind) rather than a scan over the embedding.
     pub(crate) fn is_joinable(
         &self,
         g: &DynamicGraph,
         ctx: &SearchCtx,
         u: QVertexId,
         v: VertexId,
-        m: &[Option<VertexId>],
+        scratch: &SearchScratch,
     ) -> bool {
-        if self.cfg.semantics == MatchSemantics::Isomorphism {
-            for (i, mv) in m.iter().enumerate() {
-                if *mv == Some(v) && i != u.index() {
-                    return false;
-                }
-            }
+        if self.cfg.semantics == MatchSemantics::Isomorphism && scratch.bound_elsewhere(u, v) {
+            return false;
         }
+        let m = &scratch.m;
         for &e in &self.non_tree_incident[u.index()] {
             let qe = self.q.edge(e);
             let (src, dst) = if qe.src == u && qe.dst == u {
@@ -140,7 +139,7 @@ impl TurboFlux {
 
     /// Validates the tree edge binding `u → v` (given `m(P(u)) = vp`):
     /// explicit DCG state plus the duplicate-prevention order rule.
-    fn tree_binding_ok(
+    pub(crate) fn tree_binding_ok(
         &self,
         g: &DynamicGraph,
         ctx: &SearchCtx,
@@ -187,7 +186,7 @@ impl TurboFlux {
                     .expect("parent precedes child in matching order");
                 self.tree_binding_ok(g, ctx, u, vp, v)
             };
-            if ok && self.is_joinable(g, ctx, u, v, &scratch.m) {
+            if ok && self.is_joinable(g, ctx, u, v, scratch) {
                 self.subgraph_search(g, depth + 1, ctx, scratch, sink);
             }
         } else {
@@ -197,23 +196,43 @@ impl TurboFlux {
             // The slice borrow only needs `&self`; enumeration never
             // mutates the DCG, so no candidate buffer is required.
             for &(v, st) in self.dcg.out_edge_slice(vp, u) {
-                if st != EdgeState::Explicit {
-                    continue;
+                if st == EdgeState::Explicit {
+                    self.expand_candidate(g, ctx, depth, u, vp, v, scratch, sink);
                 }
-                // Explicit state is known; only the duplicate-prevention
-                // order rule remains to check for the tree binding.
-                let e = self.tree.parent_edge(u).expect("non-root");
-                let (src, dst) = data_pair(&self.tree, u, vp, v);
-                if self.violates_order(g, ctx, e, src, dst) {
-                    continue;
-                }
-                if !self.is_joinable(g, ctx, u, v, &scratch.m) {
-                    continue;
-                }
-                scratch.m[u.index()] = Some(v);
-                self.subgraph_search(g, depth + 1, ctx, scratch, sink);
-                scratch.m[u.index()] = None;
             }
         }
+    }
+
+    /// Expands one explicit frontier candidate `v` for the unbound query
+    /// vertex `u = mo[depth]` (whose tree parent is bound to `vp`): checks
+    /// the duplicate-prevention order rule and `IsJoinable`, then binds and
+    /// recurses. Shared between the sequential enumeration above and the
+    /// parallel chunk workers (`parallel.rs`), which is what guarantees the
+    /// two paths accept and order candidates identically.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn expand_candidate(
+        &self,
+        g: &DynamicGraph,
+        ctx: &SearchCtx,
+        depth: usize,
+        u: QVertexId,
+        vp: VertexId,
+        v: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        // Explicit state is known; only the duplicate-prevention order
+        // rule remains to check for the tree binding.
+        let e = self.tree.parent_edge(u).expect("non-root");
+        let (src, dst) = data_pair(&self.tree, u, vp, v);
+        if self.violates_order(g, ctx, e, src, dst) {
+            return;
+        }
+        if !self.is_joinable(g, ctx, u, v, scratch) {
+            return;
+        }
+        scratch.bind(u, v);
+        self.subgraph_search(g, depth + 1, ctx, scratch, sink);
+        scratch.unbind(u);
     }
 }

@@ -523,3 +523,94 @@ fn deadline_stops_enumeration_but_keeps_dcg_consistent() {
     engine.apply(&UpdateOp::DeleteEdge { src: v(0), label: l(9), dst: v(1) }, &mut |_, _| n += 1);
     assert_eq!(n, 2, "negatives reported once the deadline is lifted");
 }
+
+/// Intra-update parallel enumeration must emit the exact delta sequence of
+/// the sequential path — same records, same order, for every update of a
+/// randomized stream (the dedicated integration oracle lives in
+/// `tests/parallel_eval_equivalence.rs`; this is the in-crate smoke check).
+#[test]
+fn parallel_evaluation_is_byte_identical_to_sequential() {
+    let mut rng = Rng::new(0x9A11E1);
+    for _ in 0..15 {
+        let case = random_case(&mut rng, true);
+        for semantics in [MatchSemantics::Homomorphism, MatchSemantics::Isomorphism] {
+            let par_cfg = TurboFluxConfig {
+                parallel_workers: 4,
+                parallel_min_frontier: 1, // fan out even tiny frontiers
+                ..TurboFluxConfig::with_semantics(semantics)
+            };
+            let seq_cfg = TurboFluxConfig {
+                parallel_workers: 1,
+                ..TurboFluxConfig::with_semantics(semantics)
+            };
+            let mut par = TurboFlux::new(case.q.clone(), case.g0.clone(), par_cfg);
+            let mut seq = TurboFlux::new(case.q.clone(), case.g0.clone(), seq_cfg);
+            let run = |engine: &mut TurboFlux| {
+                let mut out: Vec<(Positiveness, MatchRecord)> = Vec::new();
+                engine.initial_matches(&mut |m| out.push((Positiveness::Positive, m.clone())));
+                for op in &case.ops {
+                    engine.apply(op, &mut |p, m| out.push((p, m.clone())));
+                }
+                out
+            };
+            assert_eq!(run(&mut par), run(&mut seq), "parallel deltas diverge ({semantics:?})");
+        }
+    }
+}
+
+/// The fleet-facing worker budget clamps the configured intra-update
+/// parallelism (and auto mode resolves to at least one worker).
+#[test]
+fn worker_budget_clamps_intra_workers() {
+    let (g, q) = fig4();
+    let cfg = TurboFluxConfig { parallel_workers: 8, ..TurboFluxConfig::default() };
+    let mut engine = TurboFlux::new(q, g, cfg);
+    assert_eq!(engine.intra_workers(), 8);
+    engine.set_worker_budget(3);
+    assert_eq!(engine.intra_workers(), 3);
+    engine.set_worker_budget(0); // clamped to ≥ 1
+    assert_eq!(engine.intra_workers(), 1);
+    engine.set_worker_budget(usize::MAX);
+    assert_eq!(engine.intra_workers(), 8);
+}
+
+/// The label-bucketed query-edge index must agree with a full scan over
+/// `E(q)` for every update of a randomized stream (including wildcard
+/// edges, which live outside the buckets).
+#[test]
+fn query_edge_index_matches_full_scan() {
+    let mut rng = Rng::new(0x1DE4);
+    for _ in 0..25 {
+        let case = random_case(&mut rng, true);
+        let mut engine =
+            TurboFlux::new(case.q.clone(), case.g0.clone(), TurboFluxConfig::default());
+        let mut shadow = case.g0.clone();
+        for op in &case.ops {
+            shadow.apply(op);
+            let UpdateOp::InsertEdge { src, label, dst } = *op else {
+                engine.apply(op, &mut |_, _| {});
+                continue;
+            };
+            let mut scratch =
+                crate::scratch::SearchScratch::for_query(engine.query().vertex_count(), false);
+            engine.matching_query_edges(&shadow, src, label, dst, &mut scratch);
+            // Reference: scan every query edge, in the same processing order.
+            let mut want_tree = Vec::new();
+            let mut want_non_tree = Vec::new();
+            for i in 0..engine.query().edge_count() {
+                let e = tfx_query::EdgeId(i as u32);
+                if engine.query().edge_matches(&shadow, e, src, label, dst) {
+                    if engine.query_tree().is_tree_edge(e) {
+                        want_tree.push(e);
+                    } else {
+                        want_non_tree.push(e);
+                    }
+                }
+            }
+            want_tree.sort_unstable_by_key(|&e| engine.edge_order_key(e));
+            assert_eq!(scratch.tree_edges, want_tree, "tree buckets diverge");
+            assert_eq!(scratch.non_tree, want_non_tree, "non-tree buckets diverge");
+            engine.apply(op, &mut |_, _| {});
+        }
+    }
+}

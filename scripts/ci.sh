@@ -25,4 +25,10 @@ echo "=== adjacency_scan (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench adjacency_scan
 
+echo "=== explosive_update (quick) ==="
+# Exercises the intra-update parallel fan-out (workers/4) and the
+# small-frontier sequential fallback under the release profile.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench explosive_update
+
 echo "ci: all green"

@@ -1,0 +1,233 @@
+//! Randomized equivalence oracle for intra-update parallel enumeration:
+//! an engine that fans every update's frontier out across 4 worker threads
+//! must emit the *byte-identical* delta sequence — same records, same
+//! order — as a sequential engine, for uniform random streams and for
+//! adversarial match-exploding updates, under both homomorphism and
+//! isomorphism semantics. Also checks that a wall-clock deadline expiring
+//! while workers are mid-enumeration latches cleanly instead of
+//! panicking or corrupting the DCG.
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+
+type Delta = (Positiveness, MatchRecord);
+
+/// Parallel config: 4 workers, fan out even single-candidate frontiers so
+/// every enumerated update takes the threaded path.
+fn par_cfg(semantics: MatchSemantics) -> TurboFluxConfig {
+    TurboFluxConfig {
+        parallel_workers: 4,
+        parallel_min_frontier: 1,
+        ..TurboFluxConfig::with_semantics(semantics)
+    }
+}
+
+fn seq_cfg(semantics: MatchSemantics) -> TurboFluxConfig {
+    TurboFluxConfig { parallel_workers: 1, ..TurboFluxConfig::with_semantics(semantics) }
+}
+
+/// Runs the whole lifecycle — initial reporting plus the op stream — and
+/// records every delta in emission order.
+fn deltas(q: &QueryGraph, g0: &DynamicGraph, cfg: TurboFluxConfig, ops: &[UpdateOp]) -> Vec<Delta> {
+    let mut engine = TurboFlux::new(q.clone(), g0.clone(), cfg);
+    let mut out = Vec::new();
+    engine.initial_matches(&mut |r| out.push((Positiveness::Positive, r.clone())));
+    for op in ops {
+        engine.apply(op, &mut |p, r| out.push((p, r.clone())));
+    }
+    assert!(!engine.timed_out(), "no deadline set, so no timeout");
+    out
+}
+
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    // Occasional extra (non-tree) edge to exercise `IsJoinable` under the
+    // parallel split.
+    if rng.below(2) == 0 && nq >= 3 {
+        let a = rng.below(nq as usize) as u32;
+        let b = rng.below(nq as usize) as u32;
+        let label = Some(LabelId(10 + rng.below(2) as u32));
+        if seen.insert((a, b, label)) {
+            q.add_edge(QVertexId(a), QVertexId(b), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    q: QueryGraph,
+    ops: Vec<UpdateOp>,
+}
+
+fn uniform_scenario(rng: &mut Pcg32) -> Scenario {
+    let nv = 4 + rng.below(5) as u32;
+    let mut g = DynamicGraph::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for _ in 0..(3 + rng.below(8)) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        g.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
+    }
+    let nq = 3 + rng.below(3) as u32;
+    let q = random_query(rng, nq);
+
+    let mut ops = Vec::new();
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let mut vertices = nv;
+    for _ in 0..(10 + rng.below(20)) {
+        match rng.below(10) {
+            0 => {
+                ops.push(UpdateOp::AddVertex {
+                    id: VertexId(vertices),
+                    labels: LabelSet::single(LabelId(rng.below(2) as u32)),
+                });
+                vertices += 1;
+            }
+            1..=3 if !live.is_empty() => {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            }
+            _ => {
+                let a = VertexId(rng.below(vertices as usize) as u32);
+                let b = VertexId(rng.below(vertices as usize) as u32);
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+        }
+    }
+    Scenario { g0: g, q, ops }
+}
+
+/// Star-of-stars: source `a:A`, hub `h:H`, `mids` M-vertices each carrying
+/// `leaves` L-children. Query `u0:A -f-> u1:H -m-> u2:M -l-> u3:L`. The
+/// data is pre-wired below the hub; the returned feed op `a -f-> h`
+/// explodes `mids × leaves` matches in one update, with a frontier of
+/// `mids` explicit candidates at the parallel split depth.
+fn explosive_scenario(mids: u32, leaves: u32) -> (DynamicGraph, QueryGraph, UpdateOp) {
+    const A: u32 = 0;
+    const H: u32 = 1;
+    const M: u32 = 2;
+    const L: u32 = 3;
+    let (f, m, lv) = (LabelId(10), LabelId(11), LabelId(12));
+    let mut g = DynamicGraph::new();
+    let a = g.add_vertex(LabelSet::single(LabelId(A)));
+    let h = g.add_vertex(LabelSet::single(LabelId(H)));
+    for _ in 0..mids {
+        let mid = g.add_vertex(LabelSet::single(LabelId(M)));
+        g.insert_edge(h, m, mid);
+        for _ in 0..leaves {
+            let leaf = g.add_vertex(LabelSet::single(LabelId(L)));
+            g.insert_edge(mid, lv, leaf);
+        }
+    }
+    let mut q = QueryGraph::new();
+    let u0 = q.add_vertex(LabelSet::single(LabelId(A)));
+    let u1 = q.add_vertex(LabelSet::single(LabelId(H)));
+    let u2 = q.add_vertex(LabelSet::single(LabelId(M)));
+    let u3 = q.add_vertex(LabelSet::single(LabelId(L)));
+    q.add_edge(u0, u1, Some(f));
+    q.add_edge(u1, u2, Some(m));
+    q.add_edge(u2, u3, Some(lv));
+    (g, q, UpdateOp::InsertEdge { src: a, label: f, dst: h })
+}
+
+fn run_uniform(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    for _ in 0..40 {
+        let s = uniform_scenario(&mut rng);
+        if s.q.edge_count() == 0 || !s.q.is_connected() {
+            continue;
+        }
+        exercised += 1;
+        let par = deltas(&s.q, &s.g0, par_cfg(semantics), &s.ops);
+        let seq = deltas(&s.q, &s.g0, seq_cfg(semantics), &s.ops);
+        assert_eq!(par, seq, "parallel deltas diverge from sequential");
+        if !par.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 15, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 5, "only {nonempty} scenarios produced matches");
+}
+
+#[test]
+fn uniform_streams_homomorphism() {
+    run_uniform(0x9A12A11E1, MatchSemantics::Homomorphism);
+}
+
+#[test]
+fn uniform_streams_isomorphism() {
+    run_uniform(0x150_9A12A11E1, MatchSemantics::Isomorphism);
+}
+
+#[test]
+fn explosive_updates_match_and_unmatch_identically() {
+    let (g0, q, feed) = explosive_scenario(40, 8);
+    let unfeed = match feed {
+        UpdateOp::InsertEdge { src, label, dst } => UpdateOp::DeleteEdge { src, label, dst },
+        _ => unreachable!(),
+    };
+    for semantics in [MatchSemantics::Homomorphism, MatchSemantics::Isomorphism] {
+        let ops = [feed.clone(), unfeed.clone()];
+        // Realistic threshold too: 40 explicit mid-candidates ≥ 16.
+        let realistic = TurboFluxConfig { parallel_min_frontier: 16, ..par_cfg(semantics) };
+        let par = deltas(&q, &g0, par_cfg(semantics), &ops);
+        let mid = deltas(&q, &g0, realistic, &ops);
+        let seq = deltas(&q, &g0, seq_cfg(semantics), &ops);
+        assert_eq!(par, seq, "explosive parallel deltas diverge ({semantics:?})");
+        assert_eq!(mid, seq, "threshold-gated parallel deltas diverge ({semantics:?})");
+        let positives = seq.iter().filter(|(p, _)| *p == Positiveness::Positive).count();
+        let negatives = seq.len() - positives;
+        assert_eq!(positives, 40 * 8, "feed insert explodes mids × leaves matches");
+        assert_eq!(negatives, 40 * 8, "feed delete retracts them all");
+    }
+}
+
+/// A deadline that expires while 4 workers are mid-enumeration must latch
+/// `timed_out`, stop cleanly (possibly with truncated output — the one
+/// permitted divergence from sequential), and leave the engine usable.
+#[test]
+fn deadline_latches_under_parallel_enumeration() {
+    let (g0, q, feed) = explosive_scenario(64, 32);
+    let mut engine = TurboFlux::new(q, g0, par_cfg(MatchSemantics::Homomorphism));
+    engine.set_deadline(Some(std::time::Instant::now() - std::time::Duration::from_millis(1)));
+    let mut reported = 0usize;
+    engine.apply(&feed, &mut |_, _| reported += 1);
+    assert!(engine.timed_out(), "already-past deadline must latch during the update");
+    assert!(reported <= 64 * 32, "never more than the true match count");
+    // Lifting the deadline restores complete (and still deterministic)
+    // evaluation: deleting and re-inserting the feed edge reports the full
+    // negative + positive delta sets.
+    engine.set_deadline(None);
+    let (src, label, dst) = match feed {
+        UpdateOp::InsertEdge { src, label, dst } => (src, label, dst),
+        _ => unreachable!(),
+    };
+    let mut negatives = 0usize;
+    engine.apply(&UpdateOp::DeleteEdge { src, label, dst }, &mut |p, _| {
+        assert_eq!(p, Positiveness::Negative);
+        negatives += 1;
+    });
+    assert_eq!(negatives, 64 * 32, "post-deadline evaluation is complete");
+    assert!(!engine.timed_out(), "set_deadline(None) clears the latch");
+}
