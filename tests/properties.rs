@@ -128,7 +128,6 @@ fn insert_then_delete_restores_everything() {
 
         let mut engine = TurboFlux::new(s.q.clone(), s.g0.clone(), TurboFluxConfig::default());
         let snapshot0 = engine.dcg().snapshot();
-        let bytes0 = engine.intermediate_result_bytes();
 
         let mut pos: HashSet<MatchRecord> = HashSet::new();
         for op in &s.burst {
@@ -137,6 +136,7 @@ fn insert_then_delete_restores_everything() {
                 pos.insert(m.clone());
             });
         }
+        let bytes_peak = engine.intermediate_result_bytes();
         let mut neg: HashSet<MatchRecord> = HashSet::new();
         for op in s.burst.iter().rev() {
             let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
@@ -148,8 +148,25 @@ fn insert_then_delete_restores_everything() {
         }
         engine.dcg().check_consistency();
         assert_eq!(engine.dcg().snapshot(), snapshot0);
-        assert_eq!(engine.intermediate_result_bytes(), bytes0);
         assert_eq!(pos, neg);
+
+        // `resident_bytes` accounts reserved storage (capacities, arena
+        // slots), which only the *warmed* engine restores: replay the
+        // identical burst + teardown and require both the peak and the
+        // trough to be exact fixpoints — any drift is a storage leak.
+        let bytes_warm = engine.intermediate_result_bytes();
+        for op in &s.burst {
+            engine.apply(op, &mut |_, _| {});
+        }
+        assert_eq!(engine.intermediate_result_bytes(), bytes_peak, "peak bytes leak");
+        for op in s.burst.iter().rev() {
+            let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
+            let del = UpdateOp::DeleteEdge { src: *src, label: *label, dst: *dst };
+            engine.apply(&del, &mut |_, _| {});
+        }
+        engine.dcg().check_consistency();
+        assert_eq!(engine.dcg().snapshot(), snapshot0);
+        assert_eq!(engine.intermediate_result_bytes(), bytes_warm, "trough bytes leak");
     }
     assert!(exercised >= 48, "only {exercised} scenarios exercised");
 }
