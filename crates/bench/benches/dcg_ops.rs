@@ -1,0 +1,141 @@
+//! DCG maintenance micro-benchmarks over the arena storage layout.
+//!
+//! Two workload shapes stress the two run representations:
+//!
+//! * `uniform` — thousands of parents with 2 children each: every run fits
+//!   the inline layout, so this guards the common low-fanout case against
+//!   regressions from the pool indirection;
+//! * `hub` — a handful of parents with a 512-edge fanout: runs live in
+//!   pool slots and every insert/delete binary-searches and shifts inside
+//!   one contiguous slot (the pre-arena layout paid a linear scan over a
+//!   per-run `Vec` here).
+//!
+//! Four phases mirror the engine's hot paths: `insert_delete` (BuildDCG /
+//! ClearDCG churn — the full cycle is self-inverting so nothing is cloned
+//! inside the measurement loop and pool slots recycle through the free
+//! lists), `transit` (Transitions 0–5 state flips on standing edges),
+//! and `climb_enumerate` (the `build_upwards` in-edge walk plus the
+//! `SubgraphSearch` explicit-out enumeration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tfx_core::{Dcg, EdgeState};
+use tfx_graph::VertexId;
+use tfx_query::QVertexId;
+
+const NQ: usize = 8;
+
+type Edge = (VertexId, QVertexId, VertexId);
+
+/// (name, edges) per shape; edges are distinct (parent, u, child) triples.
+fn shapes() -> Vec<(&'static str, Vec<Edge>)> {
+    // Uniform: 4096 parents, 2 children each — inline runs on both sides.
+    let uniform: Vec<_> = (0..4096u32)
+        .flat_map(|p| {
+            (0..2u32).map(move |j| {
+                let u = QVertexId(1 + (p % 7));
+                (VertexId(p), u, VertexId(4096 + (p * 2 + j * 1017) % 8192))
+            })
+        })
+        .collect();
+    // Hub: 16 parents, one 512-edge run each — pooled runs, and children
+    // shared across hubs so the in-edge side grows multi-entry runs too.
+    let hub: Vec<_> = (0..16u32)
+        .flat_map(|h| {
+            (0..512u32).map(move |j| {
+                let u = QVertexId(1 + (h % 7));
+                (VertexId(h), u, VertexId(64 + (h * 37 + j * 13) % 2048))
+            })
+        })
+        .collect();
+    vec![("uniform", uniform), ("hub", hub)]
+}
+
+/// BuildDCG/ClearDCG churn: insert every edge, then delete in reverse.
+/// Self-inverting, so the warmed arena recycles its slots every pass.
+fn dcg_insert_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcg_insert_delete");
+    for (name, edges) in shapes() {
+        group.throughput(Throughput::Elements(2 * edges.len() as u64));
+        let mut dcg = Dcg::new(NQ, QVertexId(0));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &(pv, u, cv) in &edges {
+                    dcg.transit(Some(pv), u, cv, Some(EdgeState::Implicit));
+                }
+                for &(pv, u, cv) in edges.iter().rev() {
+                    dcg.transit(Some(pv), u, cv, None);
+                }
+                black_box(dcg.stored_edge_count())
+            });
+        });
+        assert_eq!(dcg.stored_edge_count(), 0);
+    }
+    group.finish();
+}
+
+/// Transitions 0–5 on standing edges: implicit → explicit → implicit.
+fn dcg_transit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcg_transit_states");
+    for (name, edges) in shapes() {
+        group.throughput(Throughput::Elements(2 * edges.len() as u64));
+        let mut dcg = Dcg::new(NQ, QVertexId(0));
+        for &(pv, u, cv) in &edges {
+            dcg.transit(Some(pv), u, cv, Some(EdgeState::Implicit));
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &(pv, u, cv) in &edges {
+                    dcg.transit(Some(pv), u, cv, Some(EdgeState::Explicit));
+                }
+                for &(pv, u, cv) in &edges {
+                    dcg.transit(Some(pv), u, cv, Some(EdgeState::Implicit));
+                }
+                black_box(dcg.take_dirty_expl())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The `build_upwards` climb (in-edge walks from every child) plus the
+/// `SubgraphSearch` explicit-out enumeration from every parent.
+fn dcg_climb_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcg_climb_enumerate");
+    for (name, edges) in shapes() {
+        let mut dcg = Dcg::new(NQ, QVertexId(0));
+        for (i, &(pv, u, cv)) in edges.iter().enumerate() {
+            let st = if i % 3 == 0 { EdgeState::Explicit } else { EdgeState::Implicit };
+            dcg.transit(Some(pv), u, cv, Some(st));
+        }
+        let mut ins: Vec<(VertexId, QVertexId)> = edges.iter().map(|&(_, u, cv)| (cv, u)).collect();
+        ins.sort_unstable_by_key(|&(v, u)| (v.0, u.0));
+        ins.dedup();
+        let mut outs: Vec<(VertexId, QVertexId)> =
+            edges.iter().map(|&(pv, u, _)| (pv, u)).collect();
+        outs.sort_unstable_by_key(|&(v, u)| (v.0, u.0));
+        outs.dedup();
+        group.throughput(Throughput::Elements(2 * edges.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                for &(cv, u) in &ins {
+                    for &(pv, st) in dcg.in_edge_slice(cv, u) {
+                        n = n.wrapping_add(pv.0 as u64 + (st == EdgeState::Explicit) as u64);
+                    }
+                }
+                for &(pv, u) in &outs {
+                    dcg.for_each_expl_out(pv, u, &mut |w| {
+                        n = n.wrapping_add(w.0 as u64);
+                        true
+                    });
+                }
+                black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dcg_insert_delete, dcg_transit, dcg_climb_enumerate);
+criterion_main!(benches);

@@ -20,11 +20,18 @@
 //!
 //! Deviation from the paper (documented in DESIGN.md): implicit edges are
 //! stored rather than derived from a bitmap plus data-graph scans.
+//!
+//! Storage is the slot arena of [`crate::dcg_store`]: per query vertex and
+//! direction an open-addressed index from the near-side data vertex to a
+//! sorted edge run, runs of ≤ 2 edges inline in the index slot and larger
+//! runs in a shared size-classed pool with free-list reuse. See DESIGN.md
+//! "DCG storage layout".
 
-use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use tfx_graph::VertexId;
 use tfx_query::QVertexId;
+
+use crate::dcg_store::{OpenMap, RunIndex, RunPool};
 
 /// State of a stored DCG edge. NULL is represented by absence.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
@@ -35,61 +42,21 @@ pub enum EdgeState {
     Explicit,
 }
 
-/// One direction of a DCG adjacency entry: edges with a fixed query-vertex
-/// label incident to a fixed data vertex, kept sorted by the far-end vertex
-/// id so lookups binary-search and enumeration order is canonical (and in
-/// particular independent of insertion/removal history).
-#[derive(Default, Clone, Debug)]
-struct EdgeList {
-    edges: Vec<(VertexId, EdgeState)>,
-    expl: u32,
-}
-
-impl EdgeList {
-    fn get(&self, v: VertexId) -> Option<EdgeState> {
-        let i = self.edges.binary_search_by_key(&v, |&(w, _)| w).ok()?;
-        Some(self.edges[i].1)
-    }
-
-    /// Sets the state of the edge to `v`, returning the previous state.
-    fn set(&mut self, v: VertexId, st: EdgeState) -> Option<EdgeState> {
-        match self.edges.binary_search_by_key(&v, |&(w, _)| w) {
-            Ok(i) => {
-                let old = self.edges[i].1;
-                self.edges[i].1 = st;
-                if old == EdgeState::Explicit && st != EdgeState::Explicit {
-                    self.expl -= 1;
-                } else if old != EdgeState::Explicit && st == EdgeState::Explicit {
-                    self.expl += 1;
-                }
-                Some(old)
-            }
-            Err(i) => {
-                self.edges.insert(i, (v, st));
-                if st == EdgeState::Explicit {
-                    self.expl += 1;
-                }
-                None
-            }
-        }
-    }
-
-    fn remove(&mut self, v: VertexId) -> Option<EdgeState> {
-        let i = self.edges.binary_search_by_key(&v, |&(w, _)| w).ok()?;
-        let (_, old) = self.edges.remove(i);
-        if old == EdgeState::Explicit {
-            self.expl -= 1;
-        }
-        Some(old)
-    }
-
-    fn len(&self) -> usize {
-        self.edges.len()
-    }
-
-    fn expl_count(&self) -> usize {
-        self.expl as usize
-    }
+/// Storage-shape counters for the DCG arena (see [`Dcg::storage_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DcgStorageStats {
+    /// Runs stored inline in their index slot (≤ 2 edges, no pool storage).
+    pub inline_runs: usize,
+    /// Runs stored in a pool slot.
+    pub pooled_runs: usize,
+    /// Emptied pooled runs holding only a size-class rebuild hint.
+    pub warm_runs: usize,
+    /// Pool slots currently on a free list (reserved but idle).
+    pub free_slots: usize,
+    /// Total edge entries carved out of the pool (live + free slack).
+    pub carved_entries: usize,
+    /// Exact reserved bytes, as [`Dcg::resident_bytes`].
+    pub resident_bytes: usize,
 }
 
 /// The stored DCG for one registered query.
@@ -98,13 +65,16 @@ pub struct Dcg {
     root_qv: QVertexId,
     /// Per child query vertex: edges labeled with it, keyed by the
     /// tree-parent-side data vertex.
-    out: Vec<FxHashMap<VertexId, EdgeList>>,
+    out: Vec<RunIndex>,
     /// Same edges keyed by the child-side data vertex.
-    inc: Vec<FxHashMap<VertexId, EdgeList>>,
+    inc: Vec<RunIndex>,
+    /// Slot arena shared by every run of every index above.
+    pool: RunPool,
     /// Artificial start edges `(v_s*, u_s, v)`.
-    root: FxHashMap<VertexId, EdgeState>,
-    /// Bit `u` set iff the vertex has ≥1 explicit outgoing edge labeled `u`.
-    expl_out_bits: FxHashMap<VertexId, u64>,
+    root: OpenMap<EdgeState>,
+    /// Bit `u` set iff the vertex has ≥1 explicit outgoing edge labeled
+    /// `u`. Entries are dropped when the whole bitmap clears.
+    expl_out_bits: OpenMap<u64>,
     /// Global explicit-edge count per query vertex (drives matching-order
     /// maintenance).
     expl_count: Vec<u64>,
@@ -125,10 +95,11 @@ impl Dcg {
         Dcg {
             nq,
             root_qv,
-            out: vec![FxHashMap::default(); nq],
-            inc: vec![FxHashMap::default(); nq],
-            root: FxHashMap::default(),
-            expl_out_bits: FxHashMap::default(),
+            out: (0..nq).map(|_| RunIndex::new()).collect(),
+            inc: (0..nq).map(|_| RunIndex::new()).collect(),
+            pool: RunPool::new(),
+            root: OpenMap::new(),
+            expl_out_bits: OpenMap::new(),
             expl_count: vec![0; nq],
             dirty_expl: 0,
             stored_edges: 0,
@@ -144,13 +115,13 @@ impl Dcg {
     /// State of the artificial start edge `(v_s*, u_s, v)`.
     #[inline]
     pub fn root_state(&self, v: VertexId) -> Option<EdgeState> {
-        self.root.get(&v).copied()
+        self.root.get(v.0)
     }
 
     /// State of the DCG edge `(pv, u, cv)` for non-root `u`.
     pub fn state(&self, pv: VertexId, u: QVertexId, cv: VertexId) -> Option<EdgeState> {
         debug_assert_ne!(u, self.root_qv);
-        self.out[u.index()].get(&pv).and_then(|l| l.get(cv))
+        self.out[u.index()].get(&self.pool, pv, cv)
     }
 
     /// Sets (inserting if absent) or clears (when `new` is `None`) the state
@@ -167,36 +138,48 @@ impl Dcg {
             None => {
                 debug_assert_eq!(u, self.root_qv, "only the start edge has no parent");
                 let old = match new {
-                    Some(st) => self.root.insert(v, st),
-                    None => self.root.remove(&v),
+                    Some(st) => self.root.insert(v.0, st),
+                    None => self.root.remove(v.0),
                 };
                 self.fix_counters(u, old, new, 1);
                 old
             }
             Some(pv) => {
                 debug_assert_ne!(u, self.root_qv);
-                let old = match new {
+                let (old, expl_after) = match new {
                     Some(st) => {
-                        let o = self.out[u.index()].entry(pv).or_default().set(v, st);
-                        let o2 = self.inc[u.index()].entry(v).or_default().set(pv, st);
+                        let (o, e) = self.out[u.index()].set(&mut self.pool, pv, v, st);
+                        let (o2, _) = self.inc[u.index()].set(&mut self.pool, v, pv, st);
                         debug_assert_eq!(o, o2, "out/in adjacency diverged");
-                        o
+                        (o, e)
                     }
                     None => {
-                        let o = self.out[u.index()].get_mut(&pv).and_then(|l| l.remove(v));
-                        let o2 = self.inc[u.index()].get_mut(&v).and_then(|l| l.remove(pv));
+                        let (o, e) = self.out[u.index()].remove(&mut self.pool, pv, v);
+                        let (o2, _) = self.inc[u.index()].remove(&mut self.pool, v, pv);
                         debug_assert_eq!(o, o2, "out/in adjacency diverged");
-                        o
+                        (o, e)
                     }
                 };
                 self.fix_counters(u, old, new, 1);
-                // Maintain the explicit-out bitmap of the parent.
-                let has_expl = self.out[u.index()].get(&pv).is_some_and(|l| l.expl_count() > 0);
-                let bits = self.expl_out_bits.entry(pv).or_insert(0);
-                if has_expl {
-                    *bits |= 1 << u.0;
-                } else {
-                    *bits &= !(1 << u.0);
+                // Maintain the explicit-out bitmap of the parent. When the
+                // edge's explicit-ness is unchanged the run's explicit count
+                // is too, so the bitmap needs no probe at all — the common
+                // implicit insert/delete churn never touches it. The entry
+                // is dropped when the whole bitmap clears so the table only
+                // holds vertices that currently have explicit out-edges.
+                let was_expl = old == Some(EdgeState::Explicit);
+                let is_expl = new == Some(EdgeState::Explicit);
+                if is_expl && !was_expl {
+                    let (bi, _) = self.expl_out_bits.ensure(pv.0, 0);
+                    *self.expl_out_bits.val_mut(bi) |= 1 << u.0;
+                } else if was_expl && !is_expl && expl_after == 0 {
+                    if let Some(bi) = self.expl_out_bits.find(pv.0) {
+                        let bits = self.expl_out_bits.val_mut(bi);
+                        *bits &= !(1 << u.0);
+                        if *bits == 0 {
+                            self.expl_out_bits.remove_at(bi);
+                        }
+                    }
                 }
                 old
             }
@@ -230,9 +213,9 @@ impl Dcg {
     /// `u`, counting the artificial start edge when `u = u_s`.
     pub fn in_count_total(&self, v: VertexId, u: QVertexId) -> usize {
         if u == self.root_qv {
-            usize::from(self.root.contains_key(&v))
+            usize::from(self.root.contains(v.0))
         } else {
-            self.inc[u.index()].get(&v).map_or(0, EdgeList::len)
+            self.inc[u.index()].run_len(&self.pool, v)
         }
     }
 
@@ -242,7 +225,7 @@ impl Dcg {
         if u == self.root_qv {
             usize::from(self.root_state(v) == Some(EdgeState::Explicit))
         } else {
-            self.inc[u.index()].get(&v).map_or(0, EdgeList::expl_count)
+            self.inc[u.index()].expl_count(&self.pool, v)
         }
     }
 
@@ -267,7 +250,7 @@ impl Dcg {
     #[inline]
     pub fn out_edge_slice(&self, pv: VertexId, u: QVertexId) -> &[(VertexId, EdgeState)] {
         debug_assert_ne!(u, self.root_qv);
-        self.out[u.index()].get(&pv).map_or(&[][..], |l| &l.edges)
+        self.out[u.index()].slice(&self.pool, pv)
     }
 
     /// The stored incoming edges of `v` labeled `u` as a borrowed slice
@@ -276,7 +259,7 @@ impl Dcg {
     #[inline]
     pub fn in_edge_slice(&self, v: VertexId, u: QVertexId) -> &[(VertexId, EdgeState)] {
         debug_assert_ne!(u, self.root_qv);
-        self.inc[u.index()].get(&v).map_or(&[][..], |l| &l.edges)
+        self.inc[u.index()].slice(&self.pool, v)
     }
 
     /// Returns and clears the dirty bitmask: bit `u` is set iff the
@@ -289,14 +272,14 @@ impl Dcg {
     /// Number of explicit outgoing edges of `pv` labeled `u`.
     pub fn out_expl_count(&self, pv: VertexId, u: QVertexId) -> usize {
         debug_assert_ne!(u, self.root_qv);
-        self.out[u.index()].get(&pv).map_or(0, EdgeList::expl_count)
+        self.out[u.index()].expl_count(&self.pool, pv)
     }
 
     /// The explicit-out bitmap of `v` (bit `u` set iff ≥1 explicit out edge
     /// labeled `u`). O(1) `MatchAllChildren` support.
     #[inline]
     pub fn expl_out_bits(&self, v: VertexId) -> u64 {
-        self.expl_out_bits.get(&v).copied().unwrap_or(0)
+        self.expl_out_bits.get(v.0).unwrap_or(0)
     }
 
     /// Total number of stored DCG edges (start edges included) — the
@@ -306,27 +289,39 @@ impl Dcg {
         self.stored_edges
     }
 
-    /// Exact resident bytes of the stored intermediate results under this
-    /// storage layout: every per-(u) hash table is charged its *capacity*
-    /// (entry payload plus one control byte per bucket, the hashbrown
-    /// model), and every edge list its `Vec` capacity. Capacities never
-    /// shrink, so this measures reserved memory — after a warm-up cycle a
-    /// self-inverting update stream returns it to exactly the same value
-    /// (see `tests/properties.rs`), but a freshly built engine reports
-    /// less than one that has churned.
+    /// Exact resident bytes of the stored intermediate results: every
+    /// index table is charged its bucket capacity, the run pool its carved
+    /// entries and metadata (free-list slack included). Reserved storage
+    /// never shrinks, so this measures high-water memory — after a warm-up
+    /// cycle a self-inverting update stream returns it to exactly the same
+    /// value (see `tests/properties.rs`), but a freshly built engine
+    /// reports less than one that has churned.
     pub fn resident_bytes(&self) -> usize {
-        fn table_bytes<V>(m: &FxHashMap<VertexId, V>) -> usize {
-            m.capacity() * (std::mem::size_of::<(VertexId, V)>() + 1)
-        }
-        let mut bytes = table_bytes(&self.root) + table_bytes(&self.expl_out_bits);
+        let mut bytes = self.root.resident_bytes()
+            + self.expl_out_bits.resident_bytes()
+            + self.pool.resident_bytes();
         for adj in self.out.iter().chain(self.inc.iter()) {
-            bytes += table_bytes(adj);
-            bytes += adj
-                .values()
-                .map(|l| l.edges.capacity() * std::mem::size_of::<(VertexId, EdgeState)>())
-                .sum::<usize>();
+            bytes += adj.resident_bytes();
         }
         bytes
+    }
+
+    /// Storage-shape counters: how many runs are inline vs pooled, and how
+    /// much pool storage is live vs free-listed.
+    pub fn storage_stats(&self) -> DcgStorageStats {
+        let mut stats = DcgStorageStats {
+            free_slots: self.pool.free_slot_count(),
+            carved_entries: self.pool.carved_entries(),
+            resident_bytes: self.resident_bytes(),
+            ..Default::default()
+        };
+        for adj in self.out.iter().chain(self.inc.iter()) {
+            let (inline, pooled, warm) = adj.repr_counts();
+            stats.inline_runs += inline;
+            stats.pooled_runs += pooled;
+            stats.warm_runs += warm;
+        }
+        stats
     }
 
     /// Global explicit-edge counts per query vertex.
@@ -345,48 +340,67 @@ impl Dcg {
     /// Keys are `(parent, query vertex, child)` with `None` for `v_s*`.
     pub fn snapshot(&self) -> BTreeMap<(Option<VertexId>, u32, VertexId), EdgeState> {
         let mut snap = BTreeMap::new();
-        for (&v, &st) in &self.root {
-            snap.insert((None, self.root_qv.0, v), st);
+        for (v, &st) in self.root.iter() {
+            snap.insert((None, self.root_qv.0, VertexId(v)), st);
         }
         for (u, adj) in self.out.iter().enumerate() {
-            for (&pv, list) in adj {
-                for &(cv, st) in &list.edges {
+            adj.for_each_run(&self.pool, |pv, run| {
+                for &(cv, st) in run {
                     snap.insert((Some(pv), u as u32, cv), st);
                 }
-            }
+            });
         }
         snap
     }
 
-    /// Debug-only consistency check: counters and bitmaps agree with the
-    /// stored adjacency.
+    /// Debug-only consistency check: counters, bitmaps, and the arena
+    /// invariants (sorted runs, inline/pooled representation boundary,
+    /// per-run explicit counters, mirror slots, no slot aliasing or
+    /// free-list leaks) all agree with the stored adjacency.
     pub fn check_consistency(&self) {
         let mut stored = self.root.len() as u64;
         let mut expl = vec![0u64; self.nq];
         expl[self.root_qv.index()] =
-            self.root.values().filter(|&&s| s == EdgeState::Explicit).count() as u64;
+            self.root.iter().filter(|&(_, &s)| s == EdgeState::Explicit).count() as u64;
         for (u, adj) in self.out.iter().enumerate() {
-            for (&pv, list) in adj {
-                stored += list.len() as u64;
-                let e = list.edges.iter().filter(|&&(_, s)| s == EdgeState::Explicit).count();
-                assert_eq!(e, list.expl_count(), "expl cache wrong at ({pv}, u{u})");
+            adj.for_each_run(&self.pool, |pv, run| {
+                stored += run.len() as u64;
+                let e = run.iter().filter(|&&(_, s)| s == EdgeState::Explicit).count();
+                assert_eq!(e, adj.expl_count(&self.pool, pv), "expl cache wrong at ({pv}, u{u})");
                 expl[u] += e as u64;
                 let bit_set = self.expl_out_bits(pv) & (1 << u) != 0;
                 assert_eq!(bit_set, e > 0, "bitmap wrong at ({pv}, u{u})");
                 // mirror entries exist
-                for &(cv, st) in &list.edges {
+                for &(cv, st) in run {
                     assert_eq!(
-                        self.inc[u].get(&cv).and_then(|l| l.get(pv)),
+                        self.inc[u].get(&self.pool, cv, pv),
                         Some(st),
                         "missing mirror for ({pv}, u{u}, {cv})"
                     );
                 }
-            }
+            });
         }
-        let inc_total: usize = self.inc.iter().flat_map(|m| m.values()).map(EdgeList::len).sum();
-        assert_eq!(inc_total as u64 + self.root.len() as u64, stored, "in/out totals differ");
+        let mut inc_total = 0u64;
+        for adj in &self.inc {
+            adj.for_each_run(&self.pool, |_, run| inc_total += run.len() as u64);
+        }
+        assert_eq!(inc_total + self.root.len() as u64, stored, "in/out totals differ");
         assert_eq!(stored, self.stored_edges, "stored_edges counter wrong");
         assert_eq!(expl, self.expl_count, "expl_count wrong");
+        // No vertex retains an all-zero bitmap entry.
+        for (v, &bits) in self.expl_out_bits.iter() {
+            assert_ne!(bits, 0, "stale empty bitmap entry for v{v}");
+        }
+        // Arena invariants: every pool slot is referenced by exactly one
+        // run, free lists account for the rest, and slot extents tile the
+        // carved pool.
+        self.root.validate();
+        self.expl_out_bits.validate();
+        let mut referenced = vec![false; self.pool.slot_count()];
+        for adj in self.out.iter().chain(self.inc.iter()) {
+            adj.validate(&mut referenced);
+        }
+        self.pool.validate(&referenced);
     }
 }
 
@@ -496,6 +510,9 @@ mod tests {
             d.transit(None, u(0), v(0), None);
             grown
         };
+        // Two warm-up cycles: the first teardown still sizes free-list
+        // stacks, so the reserved-bytes fixpoint starts at the second.
+        cycle(&mut d);
         let grown1 = cycle(&mut d);
         let warm = d.resident_bytes();
         assert!(grown1 > 0 && warm > 0, "capacity accounting keeps reserved bytes");
@@ -538,6 +555,102 @@ mod tests {
         d.transit(None, u(0), v(2), Some(EdgeState::Explicit));
         assert_eq!(d.take_dirty_expl(), (1 << 1) | 1);
         d.check_consistency();
+    }
+
+    /// Same xorshift as the engine's randomized tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Randomized soak: interleaved insert/delete/restate churn with a
+    /// shadow model. Checks that `resident_bytes` stays an exact function
+    /// of reserved storage (snapshot-derived edge count matches the
+    /// counters, free lists absorb every freed slot, and draining the DCG
+    /// returns every slot to a free list — a leaked slot would show up as
+    /// `live_slots > pooled_runs` or a byte-count drift on the second,
+    /// identical churn run).
+    #[test]
+    fn soak_churn_storage_accounting() {
+        let mut rng = Rng::new(0x50AC);
+        let nq = 5;
+        let mut d = Dcg::new(nq, u(0));
+        let mut live: Vec<(Option<VertexId>, QVertexId, VertexId)> = Vec::new();
+        let churn = |d: &mut Dcg, rng: &mut Rng, live: &mut Vec<_>| {
+            for step in 0..6_000 {
+                let insert = rng.below(100) < 55 || live.is_empty();
+                if insert {
+                    let (parent, qv) = if rng.below(8) == 0 {
+                        (None, u(0))
+                    } else {
+                        (Some(v(rng.below(12) as u32)), u(1 + rng.below(nq - 1) as u32))
+                    };
+                    let cv = v(rng.below(40) as u32);
+                    let st =
+                        if rng.below(3) == 0 { EdgeState::Explicit } else { EdgeState::Implicit };
+                    if d.transit(parent, qv, cv, Some(st)).is_none() {
+                        live.push((parent, qv, cv));
+                    }
+                } else {
+                    let i = rng.below(live.len());
+                    let (parent, qv, cv) = live.swap_remove(i);
+                    assert!(d.transit(parent, qv, cv, None).is_some());
+                }
+                if step % 1500 == 0 {
+                    d.check_consistency();
+                }
+            }
+        };
+        churn(&mut d, &mut rng, &mut live);
+        d.check_consistency();
+        assert_eq!(d.snapshot().len() as u64, d.stored_edge_count());
+        assert_eq!(d.stored_edge_count(), live.len() as u64);
+        let stats = d.storage_stats();
+        assert_eq!(
+            stats.pooled_runs + stats.free_slots,
+            d.pool.slot_count(),
+            "pool slot leaked: some slot is neither referenced nor free"
+        );
+        assert!(stats.inline_runs > 0 && stats.pooled_runs > 0, "soak missed a representation");
+
+        // Drain everything: all pool storage must land on free lists.
+        for (parent, qv, cv) in live.drain(..) {
+            d.transit(parent, qv, cv, None);
+        }
+        assert_eq!(d.stored_edge_count(), 0);
+        assert!(d.snapshot().is_empty());
+        let drained = d.storage_stats();
+        assert_eq!(drained.pooled_runs, 0);
+        assert_eq!(drained.free_slots, d.pool.slot_count(), "drained DCG leaked pool slots");
+        assert_eq!(drained.carved_entries, stats.carved_entries, "drain carved new storage");
+        d.check_consistency();
+
+        // Replay the identical churn: reserved bytes must be a fixpoint
+        // (free-list leaks would force fresh carving and grow the count).
+        let warm_bytes = d.resident_bytes();
+        let mut rng2 = Rng::new(0x50AC);
+        churn(&mut d, &mut rng2, &mut live);
+        for (parent, qv, cv) in live.drain(..) {
+            d.transit(parent, qv, cv, None);
+        }
+        d.check_consistency();
+        assert_eq!(d.resident_bytes(), warm_bytes, "identical churn replay grew storage");
     }
 
     #[test]

@@ -1,0 +1,879 @@
+//! Arena storage for the DCG's adjacency runs.
+//!
+//! The DCG keeps, per non-root query vertex `u`, two directed adjacency
+//! indexes (parent→children and child→parents). Prior to this module each
+//! index was a `HashMap<VertexId, Vec<(VertexId, EdgeState)>>`: one heap
+//! allocation per (vertex, u) pair, pointer-chasing on every probe, and no
+//! reuse across insert/delete churn. The arena replaces that with three
+//! flat structures:
+//!
+//! * [`OpenMap`] — an open-addressed, linear-probing hash table from
+//!   `u32` keys to small `Copy` values (Fibonacci hashing, backward-shift
+//!   deletion, so there are no tombstones and a warmed table never
+//!   rehashes under self-inverting churn);
+//! * [`RunRef`] — the per-(vertex, u) map value: either an *inline* run of
+//!   up to [`INLINE_CAP`] edges stored directly in the table slot (the
+//!   common low-fanout case costs zero extra allocations), or a `u32`
+//!   handle into the pool;
+//! * [`RunPool`] — a slot arena carved out of one big `Vec`. Slots come in
+//!   power-of-two size classes with a per-class LIFO free list; a run that
+//!   outgrows its slot is copied to the next class and its old slot is
+//!   recycled. Once pooled, a run stays pooled until it empties (demoting
+//!   at the inline boundary would make runs hovering around it pay an
+//!   alloc + copy + release on every churn cycle). Freed storage is
+//!   reused, never returned, so steady-state churn allocates nothing and
+//!   reserved bytes are an exact, replay-deterministic measure.
+//!
+//! Runs are kept sorted by far-end vertex id: lookups binary-search, and
+//! enumeration order is canonical (independent of insertion/removal
+//! history), which the equivalence oracles rely on.
+
+use tfx_graph::VertexId;
+
+use crate::dcg::EdgeState;
+
+/// Maximum number of edges stored inline in a table slot before a run is
+/// promoted to the pool. Two covers the typical DCG fanout away from hubs.
+pub const INLINE_CAP: usize = 2;
+
+/// Smallest pooled-slot capacity (size class 0). Classes double from here.
+const MIN_CLASS_CAP: u32 = 4;
+
+const NIL_EDGE: (VertexId, EdgeState) = (VertexId(0), EdgeState::Implicit);
+
+/// Explicit-edge count of a (short, inline) run; pooled runs keep this on
+/// their slot metadata instead.
+#[inline]
+fn count_expl(run: &[(VertexId, EdgeState)]) -> u32 {
+    run.iter().filter(|&&(_, st)| st == EdgeState::Explicit).count() as u32
+}
+
+#[inline]
+fn class_cap(class: u8) -> u32 {
+    MIN_CLASS_CAP << class
+}
+
+// ---------------------------------------------------------------------------
+// OpenMap
+// ---------------------------------------------------------------------------
+
+/// Open-addressed hash table from `u32` keys to `Copy` values.
+///
+/// Linear probing with Fibonacci hashing over a power-of-two capacity and
+/// *backward-shift deletion* (Knuth 6.4 algorithm R): removals restore the
+/// table to the state it would have had if the key were never inserted, so
+/// there are no tombstones, `live` is the only occupancy measure, and a
+/// table that has reached its high-water capacity never rehashes again
+/// under insert/delete churn — the allocation-free steady state the engine
+/// promises.
+pub struct OpenMap<V> {
+    /// `None` = empty bucket. Capacity is a power of two (or zero).
+    slots: Vec<Option<(u32, V)>>,
+    live: usize,
+}
+
+impl<V: Copy> Default for OpenMap<V> {
+    fn default() -> Self {
+        OpenMap { slots: Vec::new(), live: 0 }
+    }
+}
+
+impl<V: Copy> OpenMap<V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u32) -> usize {
+        // Fibonacci hashing: multiply and keep the top log2(cap) bits.
+        let k = self.slots.len().trailing_zeros();
+        (key.wrapping_mul(0x9E37_79B9) >> (32 - k)) as usize
+    }
+
+    /// Index of `key`'s bucket, if present.
+    #[inline]
+    pub fn find(&self, key: u32) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket_of(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<V> {
+        self.find(key).map(|i| self.slots[i].as_ref().unwrap().1)
+    }
+
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.find(key).is_some()
+    }
+
+    #[inline]
+    pub fn val_mut(&mut self, i: usize) -> &mut V {
+        &mut self.slots[i].as_mut().unwrap().1
+    }
+
+    #[inline]
+    pub fn val(&self, i: usize) -> &V {
+        &self.slots[i].as_ref().unwrap().1
+    }
+
+    /// Finds `key`, inserting `default` if absent (growing as needed).
+    /// Returns the bucket index and whether the entry was freshly inserted.
+    pub fn ensure(&mut self, key: u32, default: V) -> (usize, bool) {
+        if (self.live + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket_of(key);
+        loop {
+            match &self.slots[i] {
+                None => {
+                    self.slots[i] = Some((key, default));
+                    self.live += 1;
+                    return (i, true);
+                }
+                Some((k, _)) if *k == key => return (i, false),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts or overwrites, returning the previous value.
+    pub fn insert(&mut self, key: u32, value: V) -> Option<V> {
+        let (i, fresh) = self.ensure(key, value);
+        if fresh {
+            None
+        } else {
+            Some(std::mem::replace(self.val_mut(i), value))
+        }
+    }
+
+    /// Removes the entry at bucket `i` (backward-shifting the cluster so no
+    /// tombstone is left behind).
+    pub fn remove_at(&mut self, mut i: usize) {
+        self.live -= 1;
+        self.slots[i] = None;
+        let mask = self.slots.len() - 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let Some(&(k, _)) = self.slots[j].as_ref() else { return };
+            let home = self.bucket_of(k);
+            // The entry at j may move into the hole at i iff its probe path
+            // (home..=j) passes through i.
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.slots.swap(i, j);
+                i = j;
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: u32) -> Option<V> {
+        let i = self.find(key)?;
+        let old = self.slots[i].as_ref().unwrap().1;
+        self.remove_at(i);
+        Some(old)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = self.bucket_of(slot.0);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &V)> {
+        self.slots.iter().flatten().map(|(k, v)| (*k, v))
+    }
+
+    /// Reserved bytes: every bucket is charged whether live or not —
+    /// capacity is what the process actually holds.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<(u32, V)>>()
+    }
+
+    /// Asserts the probe invariant: every live entry is reachable from its
+    /// home bucket, i.e. backward-shift deletion left no stranded keys.
+    pub fn validate(&self) {
+        let mut live = 0;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(&(k, _)) = slot.as_ref() {
+                live += 1;
+                assert_eq!(self.find(k), Some(i), "key {k} stranded by deletion shifts");
+            }
+        }
+        assert_eq!(live, self.live, "live count drifted");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunPool
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct SlotMeta {
+    /// First entry in `RunPool::data`. Slots never move once carved.
+    off: u32,
+    /// Live entries (≤ `class_cap(class)`).
+    len: u32,
+    /// Explicit-state entries among the live ones (the per-run counter
+    /// behind O(1) `out_expl_count` / `in_expl_count`).
+    expl: u32,
+    /// Size class: capacity is `MIN_CLASS_CAP << class`.
+    class: u8,
+    /// False while the slot sits on a free list.
+    live: bool,
+}
+
+/// Slot arena for edge runs that outgrow the inline layout.
+///
+/// All runs live in one contiguous `data` vec. A slot is carved from the
+/// end exactly once and identified by a `u32` index into `meta`; freed
+/// slots go on a per-size-class LIFO free list and are recycled before any
+/// new carving, so after warm-up the pool never allocates.
+#[derive(Default)]
+pub struct RunPool {
+    data: Vec<(VertexId, EdgeState)>,
+    meta: Vec<SlotMeta>,
+    /// Per size class: indices of free slots.
+    free: Vec<Vec<u32>>,
+    free_slots: usize,
+}
+
+impl RunPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn alloc(&mut self, class: u8) -> u32 {
+        while self.free.len() <= class as usize {
+            self.free.push(Vec::new());
+        }
+        if let Some(slot) = self.free[class as usize].pop() {
+            self.free_slots -= 1;
+            let m = &mut self.meta[slot as usize];
+            debug_assert!(!m.live && m.class == class);
+            m.live = true;
+            m.len = 0;
+            m.expl = 0;
+            slot
+        } else {
+            let cap = class_cap(class);
+            let off = u32::try_from(self.data.len()).expect("DCG run pool exceeds u32 offsets");
+            self.data.resize(self.data.len() + cap as usize, NIL_EDGE);
+            self.meta.push(SlotMeta { off, len: 0, expl: 0, class, live: true });
+            (self.meta.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        let m = &mut self.meta[slot as usize];
+        debug_assert!(m.live);
+        m.live = false;
+        self.free[m.class as usize].push(slot);
+        self.free_slots += 1;
+    }
+
+    #[inline]
+    pub fn slice(&self, slot: u32) -> &[(VertexId, EdgeState)] {
+        let m = &self.meta[slot as usize];
+        &self.data[m.off as usize..(m.off + m.len) as usize]
+    }
+
+    #[inline]
+    fn len_of(&self, slot: u32) -> u32 {
+        self.meta[slot as usize].len
+    }
+
+    #[inline]
+    fn expl_of(&self, slot: u32) -> u32 {
+        self.meta[slot as usize].expl
+    }
+
+    #[inline]
+    fn class_of(&self, slot: u32) -> u8 {
+        self.meta[slot as usize].class
+    }
+
+    /// Seeds a freshly allocated slot with an already-sorted run.
+    fn write_initial(&mut self, slot: u32, entries: &[(VertexId, EdgeState)]) {
+        let m = self.meta[slot as usize];
+        debug_assert!(m.len == 0 && entries.len() <= class_cap(m.class) as usize);
+        let base = m.off as usize;
+        self.data[base..base + entries.len()].copy_from_slice(entries);
+        let mm = &mut self.meta[slot as usize];
+        mm.len = entries.len() as u32;
+        mm.expl = entries.iter().filter(|&&(_, s)| s == EdgeState::Explicit).count() as u32;
+    }
+
+    /// Inserts or updates `(v, st)` in the sorted run. Returns the previous
+    /// state and the (possibly moved, if the run changed size class) slot.
+    fn set(&mut self, slot: u32, v: VertexId, st: EdgeState) -> (Option<EdgeState>, u32) {
+        let m = self.meta[slot as usize];
+        let base = m.off as usize;
+        let run = &mut self.data[base..base + m.len as usize];
+        match run.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                let old = run[i].1;
+                run[i].1 = st;
+                let mm = &mut self.meta[slot as usize];
+                if old == EdgeState::Explicit && st != EdgeState::Explicit {
+                    mm.expl -= 1;
+                } else if old != EdgeState::Explicit && st == EdgeState::Explicit {
+                    mm.expl += 1;
+                }
+                (Some(old), slot)
+            }
+            Err(i) if m.len < class_cap(m.class) => {
+                self.data.copy_within(base + i..base + m.len as usize, base + i + 1);
+                self.data[base + i] = (v, st);
+                let mm = &mut self.meta[slot as usize];
+                mm.len += 1;
+                if st == EdgeState::Explicit {
+                    mm.expl += 1;
+                }
+                (None, slot)
+            }
+            Err(i) => {
+                // Full: copy into a slot of the next class, splicing the new
+                // entry in at its sorted position, and recycle the old slot.
+                let new = self.alloc(m.class + 1);
+                let dst = self.meta[new as usize].off as usize;
+                self.data.copy_within(base..base + i, dst);
+                self.data[dst + i] = (v, st);
+                self.data.copy_within(base + i..base + m.len as usize, dst + i + 1);
+                let nm = &mut self.meta[new as usize];
+                nm.len = m.len + 1;
+                nm.expl = m.expl + u32::from(st == EdgeState::Explicit);
+                self.release(slot);
+                (None, new)
+            }
+        }
+    }
+
+    /// Removes `v` from the sorted run (the caller releases the slot when
+    /// the run empties).
+    fn remove(&mut self, slot: u32, v: VertexId) -> Option<EdgeState> {
+        let m = self.meta[slot as usize];
+        let base = m.off as usize;
+        let run = &self.data[base..base + m.len as usize];
+        let i = run.binary_search_by_key(&v, |&(w, _)| w).ok()?;
+        let old = self.data[base + i].1;
+        self.data.copy_within(base + i + 1..base + m.len as usize, base + i);
+        let mm = &mut self.meta[slot as usize];
+        mm.len -= 1;
+        if old == EdgeState::Explicit {
+            mm.expl -= 1;
+        }
+        Some(old)
+    }
+
+    /// Reserved bytes: the carved pool, slot metadata, and free-list stacks.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<(VertexId, EdgeState)>()
+            + self.meta.capacity() * std::mem::size_of::<SlotMeta>()
+            + self.free.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.free.iter().map(|f| f.capacity() * 4).sum::<usize>()
+    }
+
+    #[inline]
+    pub fn live_slots(&self) -> usize {
+        self.meta.len() - self.free_slots
+    }
+
+    #[inline]
+    pub fn free_slot_count(&self) -> usize {
+        self.free_slots
+    }
+
+    /// Total slots ever carved (live + free).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Total carved entries (live or free) — the pool's footprint in edges.
+    #[inline]
+    pub fn carved_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Arena invariants, given `referenced[slot]` marks from the run
+    /// indexes: every live slot referenced exactly once (no aliasing, no
+    /// leaks), every free slot on exactly one free list, and the slot
+    /// extents tile the carved pool.
+    pub fn validate(&self, referenced: &[bool]) {
+        assert_eq!(referenced.len(), self.meta.len());
+        let mut off = 0u32;
+        for (s, m) in self.meta.iter().enumerate() {
+            assert_eq!(m.off, off, "slot {s} not contiguous");
+            off += class_cap(m.class);
+            assert!(m.len <= class_cap(m.class), "slot {s} overflows its class");
+            assert_eq!(m.live, referenced[s], "slot {s} leaked or aliased");
+            if !m.live {
+                continue;
+            }
+            let run = self.slice(s as u32);
+            assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "slot {s} run unsorted");
+            let expl = run.iter().filter(|&&(_, st)| st == EdgeState::Explicit).count();
+            assert_eq!(expl as u32, m.expl, "slot {s} expl counter drifted");
+            assert!(!run.is_empty(), "slot {s} holds an empty run");
+        }
+        assert_eq!(off as usize, self.data.len(), "carved extents do not tile the pool");
+        let mut free_seen = vec![false; self.meta.len()];
+        for (class, stack) in self.free.iter().enumerate() {
+            for &s in stack {
+                let m = &self.meta[s as usize];
+                assert!(!m.live && m.class as usize == class, "free list misfiled slot {s}");
+                assert!(!free_seen[s as usize], "slot {s} on a free list twice");
+                free_seen[s as usize] = true;
+            }
+        }
+        let free_total = free_seen.iter().filter(|&&b| b).count();
+        assert_eq!(free_total, self.free_slots, "free-slot count drifted");
+        assert_eq!(free_total + self.live_slots(), self.meta.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunIndex
+// ---------------------------------------------------------------------------
+
+/// Per-(vertex, u) run handle: small runs live inline in the table slot,
+/// larger ones in the pool. `Warm` marks a pooled run that emptied out —
+/// its slot went back to the free lists, but the entry remembers the
+/// high-water size class so a rebuild allocates that class directly
+/// instead of copying through every class on the way up (hub runs are
+/// torn down and rebuilt wholesale by the engine's check-and-avoid rule,
+/// which made class-by-class regrowth the dominant cost there).
+#[derive(Clone, Copy, Debug)]
+pub enum RunRef {
+    Inline { len: u8, edges: [(VertexId, EdgeState); INLINE_CAP] },
+    Pooled { slot: u32 },
+    Warm { class: u8 },
+}
+
+/// One direction of one query vertex's DCG adjacency: an [`OpenMap`] from
+/// the near-side data vertex to its (sorted) edge run. All mutating calls
+/// thread the shared [`RunPool`] explicitly so the `Dcg` can keep one pool
+/// across all `2·|V(q)|` indexes.
+#[derive(Default)]
+pub struct RunIndex {
+    map: OpenMap<RunRef>,
+}
+
+impl RunIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The run for `key` as a sorted borrowed slice (empty if absent).
+    #[inline]
+    pub fn slice<'a>(&'a self, pool: &'a RunPool, key: VertexId) -> &'a [(VertexId, EdgeState)] {
+        match self.map.find(key.0) {
+            None => &[],
+            Some(i) => match self.map.val(i) {
+                RunRef::Inline { len, edges } => &edges[..*len as usize],
+                RunRef::Pooled { slot } => pool.slice(*slot),
+                RunRef::Warm { .. } => &[],
+            },
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, pool: &RunPool, key: VertexId, v: VertexId) -> Option<EdgeState> {
+        let run = self.slice(pool, key);
+        let i = run.binary_search_by_key(&v, |&(w, _)| w).ok()?;
+        Some(run[i].1)
+    }
+
+    #[inline]
+    pub fn run_len(&self, pool: &RunPool, key: VertexId) -> usize {
+        match self.map.find(key.0) {
+            None => 0,
+            Some(i) => match self.map.val(i) {
+                RunRef::Inline { len, .. } => *len as usize,
+                RunRef::Pooled { slot } => pool.len_of(*slot) as usize,
+                RunRef::Warm { .. } => 0,
+            },
+        }
+    }
+
+    #[inline]
+    pub fn expl_count(&self, pool: &RunPool, key: VertexId) -> usize {
+        match self.map.find(key.0) {
+            None => 0,
+            Some(i) => match self.map.val(i) {
+                RunRef::Inline { len, edges } => count_expl(&edges[..*len as usize]) as usize,
+                RunRef::Pooled { slot } => pool.expl_of(*slot) as usize,
+                RunRef::Warm { .. } => 0,
+            },
+        }
+    }
+
+    /// Sets the state of edge `v` in `key`'s run (inserting the run and/or
+    /// the edge as needed), returning the previous state and the run's
+    /// explicit-edge count after the write — the counter is already on the
+    /// slot metadata, so callers maintaining derived explicit-edge indexes
+    /// avoid a second table probe. Promotes inline runs to the pool when
+    /// they outgrow [`INLINE_CAP`].
+    pub fn set(
+        &mut self,
+        pool: &mut RunPool,
+        key: VertexId,
+        v: VertexId,
+        st: EdgeState,
+    ) -> (Option<EdgeState>, u32) {
+        let (i, fresh) = self.map.ensure(key.0, RunRef::Inline { len: 0, edges: [NIL_EDGE; 2] });
+        match self.map.val_mut(i) {
+            RunRef::Inline { len, edges } => {
+                let n = *len as usize;
+                debug_assert!(fresh == (n == 0));
+                let pos = edges[..n].partition_point(|&(w, _)| w < v);
+                if pos < n && edges[pos].0 == v {
+                    let old = std::mem::replace(&mut edges[pos].1, st);
+                    (Some(old), count_expl(&edges[..n]))
+                } else if n < INLINE_CAP {
+                    edges.copy_within(pos..n, pos + 1);
+                    edges[pos] = (v, st);
+                    *len += 1;
+                    (None, count_expl(&edges[..n + 1]))
+                } else {
+                    // Promote: the run becomes INLINE_CAP + 1 entries.
+                    let mut spill = [NIL_EDGE; INLINE_CAP + 1];
+                    spill[..pos].copy_from_slice(&edges[..pos]);
+                    spill[pos] = (v, st);
+                    spill[pos + 1..].copy_from_slice(&edges[pos..]);
+                    let slot = pool.alloc(0);
+                    pool.write_initial(slot, &spill);
+                    *self.map.val_mut(i) = RunRef::Pooled { slot };
+                    (None, pool.expl_of(slot))
+                }
+            }
+            RunRef::Pooled { slot } => {
+                let (old, moved) = pool.set(*slot, v, st);
+                *slot = moved;
+                (old, pool.expl_of(moved))
+            }
+            RunRef::Warm { class } => {
+                let slot = pool.alloc(*class);
+                pool.write_initial(slot, &[(v, st)]);
+                *self.map.val_mut(i) = RunRef::Pooled { slot };
+                (None, u32::from(st == EdgeState::Explicit))
+            }
+        }
+    }
+
+    /// Removes edge `v` from `key`'s run, returning its state and the run's
+    /// explicit-edge count after the removal (0 when the edge or run was
+    /// absent). A pooled run stays pooled until it empties — demoting back
+    /// inline the moment a run dips to [`INLINE_CAP`] made every run that
+    /// hovers around the boundary pay an alloc + copy + release per churn
+    /// cycle (2–3× the per-op cost on low-fanout mirror runs). An emptied
+    /// inline run drops its map entry; an emptied pooled run releases its
+    /// slot but leaves a [`RunRef::Warm`] entry behind as a rebuild hint.
+    pub fn remove(
+        &mut self,
+        pool: &mut RunPool,
+        key: VertexId,
+        v: VertexId,
+    ) -> (Option<EdgeState>, u32) {
+        let Some(i) = self.map.find(key.0) else { return (None, 0) };
+        match self.map.val_mut(i) {
+            RunRef::Inline { len, edges } => {
+                let n = *len as usize;
+                let Some(pos) = edges[..n].iter().position(|&(w, _)| w == v) else {
+                    return (None, count_expl(&edges[..n]));
+                };
+                let old = edges[pos].1;
+                edges.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                let expl = count_expl(&edges[..n - 1]);
+                if *len == 0 {
+                    self.map.remove_at(i);
+                }
+                (Some(old), expl)
+            }
+            RunRef::Pooled { slot } => {
+                let s = *slot;
+                let Some(old) = pool.remove(s, v) else { return (None, pool.expl_of(s)) };
+                let expl = pool.expl_of(s);
+                if pool.len_of(s) == 0 {
+                    let class = pool.class_of(s);
+                    pool.release(s);
+                    *self.map.val_mut(i) = RunRef::Warm { class };
+                }
+                (Some(old), expl)
+            }
+            RunRef::Warm { .. } => (None, 0),
+        }
+    }
+
+    /// Calls `f` with every (key, sorted run) pair. Map iteration order is
+    /// table order — callers must be order-independent (snapshots collect
+    /// into a `BTreeMap`, consistency checks assert per-entry facts).
+    pub fn for_each_run<'a>(
+        &'a self,
+        pool: &'a RunPool,
+        mut f: impl FnMut(VertexId, &[(VertexId, EdgeState)]),
+    ) {
+        for (k, rr) in self.map.iter() {
+            match rr {
+                RunRef::Inline { len, edges } => f(VertexId(k), &edges[..*len as usize]),
+                RunRef::Pooled { slot } => f(VertexId(k), pool.slice(*slot)),
+                RunRef::Warm { .. } => {}
+            }
+        }
+    }
+
+    /// (inline, pooled, warm) run counts — storage-stats support.
+    pub fn repr_counts(&self) -> (usize, usize, usize) {
+        let mut inline = 0;
+        let mut pooled = 0;
+        let mut warm = 0;
+        for (_, rr) in self.map.iter() {
+            match rr {
+                RunRef::Inline { .. } => inline += 1,
+                RunRef::Pooled { .. } => pooled += 1,
+                RunRef::Warm { .. } => warm += 1,
+            }
+        }
+        (inline, pooled, warm)
+    }
+
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.map.resident_bytes()
+    }
+
+    /// Index-side arena invariants: probe reachability, the inline/pooled
+    /// representation boundary, and slot-reference marks for
+    /// [`RunPool::validate`].
+    pub fn validate(&self, referenced: &mut [bool]) {
+        self.map.validate();
+        for (k, rr) in self.map.iter() {
+            match rr {
+                RunRef::Inline { len, edges } => {
+                    let n = *len as usize;
+                    assert!((1..=INLINE_CAP).contains(&n), "empty inline run for key {k}");
+                    assert!(
+                        edges[..n].windows(2).all(|w| w[0].0 < w[1].0),
+                        "inline run unsorted for key {k}"
+                    );
+                }
+                RunRef::Pooled { slot } => {
+                    let s = *slot as usize;
+                    assert!(!referenced[s], "slot {s} aliased by key {k}");
+                    referenced[s] = true;
+                }
+                RunRef::Warm { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Same xorshift as the engine's randomized tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    #[test]
+    fn open_map_matches_btreemap_under_churn() {
+        let mut rng = Rng::new(0xA11CE);
+        let mut m: OpenMap<u64> = OpenMap::new();
+        let mut shadow: BTreeMap<u32, u64> = BTreeMap::new();
+        for step in 0..20_000 {
+            let key = rng.below(64) as u32;
+            match rng.below(3) {
+                0 => {
+                    let val = step as u64;
+                    assert_eq!(m.insert(key, val), shadow.insert(key, val));
+                }
+                1 => assert_eq!(m.remove(key), shadow.remove(&key)),
+                _ => assert_eq!(m.get(key), shadow.get(&key).copied()),
+            }
+            if step % 1024 == 0 {
+                m.validate();
+            }
+        }
+        m.validate();
+        assert_eq!(m.len(), shadow.len());
+        let mut got: Vec<(u32, u64)> = m.iter().map(|(k, &val)| (k, val)).collect();
+        got.sort_unstable();
+        let want: Vec<(u32, u64)> = shadow.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn open_map_is_capacity_stable_under_self_inverting_churn() {
+        let mut m: OpenMap<u32> = OpenMap::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        for k in 0..100 {
+            m.remove(k);
+        }
+        let warm = m.resident_bytes();
+        assert!(warm > 0);
+        for _ in 0..50 {
+            for k in 0..100 {
+                m.insert(k, k);
+            }
+            for k in (0..100).rev() {
+                m.remove(k);
+            }
+            // No tombstones ⇒ no rehash ⇒ reserved bytes are a fixpoint.
+            assert_eq!(m.resident_bytes(), warm);
+        }
+        m.validate();
+        assert_eq!(m.len(), 0);
+    }
+
+    fn expl(i: usize) -> EdgeState {
+        if i.is_multiple_of(3) {
+            EdgeState::Explicit
+        } else {
+            EdgeState::Implicit
+        }
+    }
+
+    #[test]
+    fn run_index_promotes_demotes_and_matches_model() {
+        let mut rng = Rng::new(0xD1CE);
+        let mut pool = RunPool::new();
+        let mut idx = RunIndex::new();
+        let mut shadow: BTreeMap<u32, BTreeMap<u32, EdgeState>> = BTreeMap::new();
+        for step in 0..30_000 {
+            let key = v(rng.below(8) as u32);
+            let far = v(rng.below(40) as u32);
+            let st = expl(step);
+            if rng.below(2) == 0 {
+                let (old, expl) = idx.set(&mut pool, key, far, st);
+                let entry = shadow.entry(key.0).or_default();
+                assert_eq!(old, entry.insert(far.0, st));
+                let want = entry.values().filter(|&&s| s == EdgeState::Explicit).count();
+                assert_eq!(expl as usize, want, "post-set explicit count diverged");
+            } else {
+                let (old, expl) = idx.remove(&mut pool, key, far);
+                let entry = shadow.entry(key.0).or_default();
+                assert_eq!(old, entry.remove(&far.0));
+                let want = entry.values().filter(|&&s| s == EdgeState::Explicit).count();
+                assert_eq!(expl as usize, want, "post-remove explicit count diverged");
+                if entry.is_empty() {
+                    shadow.remove(&key.0);
+                }
+            }
+            if step % 2048 == 0 {
+                let mut referenced = vec![false; pool.meta.len()];
+                idx.validate(&mut referenced);
+                pool.validate(&referenced);
+            }
+        }
+        for (&k, run) in &shadow {
+            let got: Vec<(u32, EdgeState)> =
+                idx.slice(&pool, v(k)).iter().map(|&(w, st)| (w.0, st)).collect();
+            let want: Vec<(u32, EdgeState)> = run.iter().map(|(&w, &st)| (w, st)).collect();
+            assert_eq!(got, want, "run for key {k} diverged");
+            let want_expl = run.values().filter(|&&st| st == EdgeState::Explicit).count();
+            assert_eq!(idx.expl_count(&pool, v(k)), want_expl);
+            assert_eq!(idx.run_len(&pool, v(k)), run.len());
+        }
+        let mut referenced = vec![false; pool.meta.len()];
+        idx.validate(&mut referenced);
+        pool.validate(&referenced);
+    }
+
+    #[test]
+    fn pool_slots_are_recycled_not_carved() {
+        let mut pool = RunPool::new();
+        let mut idx = RunIndex::new();
+        // Push one run through promote → grow → full teardown, twice; the
+        // second pass must reuse the first pass's slots.
+        let cycle = |pool: &mut RunPool, idx: &mut RunIndex| {
+            for i in 0..20 {
+                idx.set(pool, v(0), v(i), EdgeState::Implicit);
+            }
+            for i in 0..20 {
+                idx.remove(pool, v(0), v(i));
+            }
+        };
+        cycle(&mut pool, &mut idx);
+        let carved = pool.carved_entries();
+        let slots = pool.meta.len();
+        assert!(carved > 0 && pool.free_slot_count() == slots, "all slots back on free lists");
+        cycle(&mut pool, &mut idx);
+        assert_eq!(pool.carved_entries(), carved, "steady-state churn carved new storage");
+        assert_eq!(pool.meta.len(), slots);
+        assert_eq!(idx.run_len(&pool, v(0)), 0);
+    }
+
+    #[test]
+    fn inline_runs_use_no_pool_storage() {
+        let mut pool = RunPool::new();
+        let mut idx = RunIndex::new();
+        for k in 0..100 {
+            idx.set(&mut pool, v(k), v(1), EdgeState::Implicit);
+            idx.set(&mut pool, v(k), v(0), EdgeState::Explicit);
+        }
+        assert_eq!(pool.carved_entries(), 0, "low-fanout runs must stay inline");
+        for k in 0..100 {
+            assert_eq!(
+                idx.slice(&pool, v(k)),
+                &[(v(0), EdgeState::Explicit), (v(1), EdgeState::Implicit)]
+            );
+            assert_eq!(idx.expl_count(&pool, v(k)), 1);
+        }
+        // One more edge promotes exactly one run.
+        idx.set(&mut pool, v(7), v(5), EdgeState::Implicit);
+        assert_eq!(pool.carved_entries(), MIN_CLASS_CAP as usize);
+        assert_eq!(idx.run_len(&pool, v(7)), 3);
+    }
+}

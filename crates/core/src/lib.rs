@@ -34,6 +34,7 @@
 
 pub mod config;
 pub mod dcg;
+mod dcg_store;
 pub mod engine;
 pub mod fleet;
 mod ops_delete;

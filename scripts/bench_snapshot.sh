@@ -26,6 +26,7 @@ export TFX_BENCH_JSON="$tmp"
 cargo bench --offline -p tfx-bench --bench fleet_throughput
 cargo bench --offline -p tfx-bench --bench micro
 cargo bench --offline -p tfx-bench --bench adjacency_scan
+cargo bench --offline -p tfx-bench --bench dcg_ops
 cargo bench --offline -p tfx-bench --bench explosive_update
 
 mv "$tmp" "$out"

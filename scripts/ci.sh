@@ -25,6 +25,12 @@ echo "=== adjacency_scan (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench adjacency_scan
 
+echo "=== dcg_ops (quick) ==="
+# Exercises arena promote/grow/demote and the climb/enumerate slices on
+# both run shapes under the release profile.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench dcg_ops
+
 echo "=== explosive_update (quick) ==="
 # Exercises the intra-update parallel fan-out (workers/4) and the
 # small-frontier sequential fallback under the release profile.

@@ -73,10 +73,19 @@ fn steady_state_updates_do_not_allocate() {
     let mut engine = TurboFlux::new(q, g, TurboFluxConfig::default());
 
     // One cycle: close the triangle edge (positive matches), add another
-    // tree-matching edge, then delete both (negative matches).
+    // tree-matching edge, then fan v0's u1-run past the DCG's inline
+    // capacity (the run promotes into a pool slot and demotes back when
+    // the edges go away — slot reuse must come from the free list, not the
+    // allocator), then delete everything (negative matches).
     let cycle = [
         UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(11), dst: VertexId(2) },
         UpdateOp::InsertEdge { src: VertexId(2), label: LabelId(10), dst: VertexId(5) },
+        UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(3) },
+        UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(5) },
+        UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(7) },
+        UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(7) },
+        UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(5) },
+        UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(3) },
         UpdateOp::DeleteEdge { src: VertexId(2), label: LabelId(10), dst: VertexId(5) },
         UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(11), dst: VertexId(2) },
     ];
@@ -93,6 +102,10 @@ fn steady_state_updates_do_not_allocate() {
     // Warm-up: reach every code path's high-water scratch capacity.
     run_cycles(&mut engine, 8, &mut matches);
     assert!(matches > 0, "warm-up must produce matches, or the test is vacuous");
+    assert!(
+        engine.dcg().storage_stats().carved_entries > 0,
+        "the cycle must push a DCG run through the pool, or slot reuse goes untested"
+    );
 
     ARMED.store(true, Ordering::SeqCst);
     let before = ALLOCS.load(Ordering::SeqCst);

@@ -136,7 +136,6 @@ fn insert_then_delete_restores_everything() {
                 pos.insert(m.clone());
             });
         }
-        let bytes_peak = engine.intermediate_result_bytes();
         let mut neg: HashSet<MatchRecord> = HashSet::new();
         for op in s.burst.iter().rev() {
             let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
@@ -151,22 +150,27 @@ fn insert_then_delete_restores_everything() {
         assert_eq!(pos, neg);
 
         // `resident_bytes` accounts reserved storage (capacities, arena
-        // slots), which only the *warmed* engine restores: replay the
-        // identical burst + teardown and require both the peak and the
-        // trough to be exact fixpoints — any drift is a storage leak.
-        let bytes_warm = engine.intermediate_result_bytes();
-        for op in &s.burst {
-            engine.apply(op, &mut |_, _| {});
-        }
-        assert_eq!(engine.intermediate_result_bytes(), bytes_peak, "peak bytes leak");
-        for op in s.burst.iter().rev() {
-            let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
-            let del = UpdateOp::DeleteEdge { src: *src, label: *label, dst: *dst };
-            engine.apply(&del, &mut |_, _| {});
-        }
+        // slots), which only the *warmed* engine restores: run one more
+        // burst + teardown cycle to finish warming (the first teardown
+        // still sizes free-list stacks), record its peak and trough, then
+        // replay the identical cycle and require both to be exact
+        // fixpoints — any drift is a storage leak.
+        let run_cycle = |engine: &mut TurboFlux| {
+            for op in &s.burst {
+                engine.apply(op, &mut |_, _| {});
+            }
+            let peak = engine.intermediate_result_bytes();
+            for op in s.burst.iter().rev() {
+                let UpdateOp::InsertEdge { src, label, dst } = op else { unreachable!() };
+                let del = UpdateOp::DeleteEdge { src: *src, label: *label, dst: *dst };
+                engine.apply(&del, &mut |_, _| {});
+            }
+            (peak, engine.intermediate_result_bytes())
+        };
+        let warm = run_cycle(&mut engine);
+        assert_eq!(run_cycle(&mut engine), warm, "warm (peak, trough) bytes leak");
         engine.dcg().check_consistency();
         assert_eq!(engine.dcg().snapshot(), snapshot0);
-        assert_eq!(engine.intermediate_result_bytes(), bytes_warm, "trough bytes leak");
     }
     assert!(exercised >= 48, "only {exercised} scenarios exercised");
 }
