@@ -1,0 +1,149 @@
+//! Streaming-ingestion benchmarks: sliding-window churn and source parsing.
+//!
+//! Three groups cover the `tfx-stream` layers:
+//!
+//! * `window_churn` — a netflow-like insert stream pushed through a
+//!   count-window into a no-op target, at window sizes 1k and 16k. This
+//!   isolates the window's ring-buffer + live-count bookkeeping and the
+//!   driver's batching from engine cost; every insert past the warm-up
+//!   also evicts, so the measured rate is the sustained churn rate.
+//! * `windowed_netflow` — the same stream and windows applied to a real
+//!   TurboFlux engine monitoring a two-hop tcp→udp relay, end to end
+//!   (window expiry deletes drive real negative-delta work).
+//! * `file_source_parse` — text-format throughput of `FileSource` over an
+//!   in-memory stream file with a mix of implicit and `@ts` timestamps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::io::Cursor;
+use tfx_core::{TurboFlux, TurboFluxConfig};
+use tfx_datagen::{netflow, Dataset, NetflowConfig};
+use tfx_graph::{LabelInterner, LabelSet, UpdateOp};
+use tfx_query::{MatchRecord, Positiveness, QueryGraph};
+use tfx_stream::{
+    BatchPolicy, BatchTarget, ErrorMode, FileSource, NullSink, SlidingWindow, StreamDriver,
+    StreamEvent, StreamSource, SyntheticSource, VecSource, WindowSpec,
+};
+
+/// 2 000 hosts, 24 000 streamed flows: large enough that both window sizes
+/// spend most of the run in steady-state evict-on-insert churn.
+fn trace() -> (Dataset, Vec<StreamEvent>) {
+    let mut dataset = netflow::generate(&NetflowConfig {
+        hosts: 2_000,
+        flows: 30_000,
+        seed: 0xC4A,
+        stream_frac: 0.8,
+    });
+    let stream = std::mem::take(&mut dataset.stream);
+    let mut source = SyntheticSource::from_stream(stream, 1);
+    let mut events = Vec::new();
+    while let Some(ev) = source.next_event().expect("synthetic sources never fail") {
+        events.push(ev);
+    }
+    (dataset, events)
+}
+
+/// Swallows batches without touching an engine.
+struct NullTarget;
+
+impl BatchTarget for NullTarget {
+    fn apply_batch(
+        &mut self,
+        ops: &[UpdateOp],
+        _sink: &mut dyn FnMut(usize, usize, Positiveness, &MatchRecord),
+    ) {
+        black_box(ops.len());
+    }
+}
+
+const WINDOWS: [(&str, usize); 2] = [("1k", 1 << 10), ("16k", 1 << 14)];
+
+/// Window + driver bookkeeping alone: push every event, count the ops out.
+fn window_churn(c: &mut Criterion) {
+    let (_, events) = trace();
+    let mut group = c.benchmark_group("window_churn");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (name, capacity) in WINDOWS {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut source = VecSource::new(events.clone());
+                let mut driver = StreamDriver::new(
+                    SlidingWindow::new(WindowSpec::Count { capacity }),
+                    BatchPolicy::by_ops(256),
+                );
+                let summary =
+                    driver.run(&mut source, &mut NullTarget, &mut NullSink).expect("vec source");
+                black_box(summary.ops)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The full pipeline: windowed stream into a live engine, expiry deletes
+/// included.
+fn windowed_netflow(c: &mut Criterion) {
+    let (dataset, events) = trace();
+    let tcp = dataset.interner.get("tcp").expect("generator defines tcp");
+    let udp = dataset.interner.get("udp").expect("generator defines udp");
+    let mut q = QueryGraph::new();
+    let v: Vec<_> = (0..3).map(|_| q.add_vertex(LabelSet::empty())).collect();
+    q.add_edge(v[0], v[1], Some(tcp));
+    q.add_edge(v[1], v[2], Some(udp));
+
+    let mut group = c.benchmark_group("windowed_netflow");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (name, capacity) in WINDOWS {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine =
+                    TurboFlux::new(q.clone(), dataset.g0.clone(), TurboFluxConfig::default());
+                let mut source = VecSource::new(events.clone());
+                let mut driver = StreamDriver::new(
+                    SlidingWindow::new(WindowSpec::Count { capacity }),
+                    BatchPolicy::by_ops(256),
+                );
+                let summary =
+                    driver.run(&mut source, &mut engine, &mut NullSink).expect("vec source");
+                black_box((summary.positive, summary.negative))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Text parsing throughput: the stream-file grammar with a 50/50 mix of
+/// implicit and explicit timestamps, measured in input bytes.
+fn file_source_parse(c: &mut Criterion) {
+    let (dataset, events) = trace();
+    let mut text = String::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let UpdateOp::InsertEdge { src, label, dst } = ev.op {
+            let name = dataset.interner.name(label).expect("streamed labels are interned");
+            if i % 2 == 0 {
+                text.push_str(&format!("@{} + {} {} {name}\n", ev.ts, src.0, dst.0));
+            } else {
+                text.push_str(&format!("+ {} {} {name}\n", src.0, dst.0));
+            }
+        }
+    }
+    let bytes = text.into_bytes();
+    let mut group = c.benchmark_group("file_source_parse");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("netflow_text", |b| {
+        b.iter(|| {
+            let mut interner = LabelInterner::new();
+            let mut source =
+                FileSource::new(Cursor::new(bytes.as_slice()), &mut interner, ErrorMode::Strict);
+            let mut n = 0u64;
+            while let Some(ev) = source.next_event().expect("well-formed text") {
+                n = n.wrapping_add(ev.ts);
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, window_churn, windowed_netflow, file_source_parse);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ pub mod netflow;
 pub mod queries;
 pub mod rng;
 pub mod schema;
+pub mod uniform;
 
 pub use dataset::Dataset;
 pub use hub::HubConfig;
@@ -34,3 +35,4 @@ pub use netflow::NetflowConfig;
 pub use queries::QueryGenConfig;
 pub use rng::Pcg32;
 pub use schema::Schema;
+pub use uniform::UniformConfig;

@@ -1,0 +1,131 @@
+//! Uniform-random workload: labeled vertices, uniform endpoint and label
+//! choice.
+//!
+//! The unskewed counterpart to [`crate::hub`] and [`crate::netflow`]: every
+//! vertex gets one of `vertex_labels` type labels round-robin, every edge
+//! draws its endpoints and its label uniformly. Average degree stays low
+//! and label groups stay balanced, which makes this the neutral baseline
+//! workload for streaming and windowing tests — nothing about the data
+//! favors any particular access path.
+
+use tfx_graph::{LabelInterner, LabelSet, VertexId};
+
+use crate::dataset::{split_into_dataset, Dataset};
+use crate::rng::Pcg32;
+use crate::schema::Schema;
+
+/// Configuration for [`generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct UniformConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of distinct vertex type labels (`T0`, `T1`, …).
+    pub vertex_labels: usize,
+    /// Number of distinct edge labels (`r0`, `r1`, …).
+    pub edge_labels: usize,
+    /// Number of distinct edges to generate.
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of edges that form the insertion stream.
+    pub stream_frac: f64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig {
+            vertices: 400,
+            vertex_labels: 4,
+            edge_labels: 4,
+            edges: 4000,
+            seed: 2018,
+            stream_frac: 0.25,
+        }
+    }
+}
+
+/// Generates a uniform-random dataset.
+pub fn generate(cfg: &UniformConfig) -> Dataset {
+    assert!(cfg.vertices >= 2 && cfg.vertex_labels >= 1 && cfg.edge_labels >= 1);
+    let mut interner = LabelInterner::new();
+    let mut schema = Schema::new();
+    let types: Vec<usize> = (0..cfg.vertex_labels)
+        .map(|i| {
+            let name = format!("T{i}");
+            let l = interner.intern(&name);
+            schema.add_vertex_type(&name, Some(l))
+        })
+        .collect();
+    let rels: Vec<tfx_graph::LabelId> =
+        (0..cfg.edge_labels).map(|k| interner.intern(&format!("r{k}"))).collect();
+    // Every (type, label, type) combination is legal in this workload; the
+    // schema records one relation per label over the first type pair so
+    // query tooling sees every label (full cross products add nothing).
+    for (k, &l) in rels.iter().enumerate() {
+        schema.add_relation(types[k % types.len()], l, types[(k + 1) % types.len()]);
+    }
+
+    let vertex_types: Vec<usize> = (0..cfg.vertices).map(|i| types[i % types.len()]).collect();
+    let vertex_labels: Vec<LabelSet> =
+        vertex_types.iter().map(|&t| schema.type_label_set(t)).collect();
+
+    let mut rng = Pcg32::with_stream(cfg.seed, 0x00F0_12A7);
+    let mut seen = rustc_hash::FxHashSet::default();
+    let mut edges = Vec::with_capacity(cfg.edges);
+    let mut attempts = 0usize;
+    while edges.len() < cfg.edges && attempts < cfg.edges * 4 {
+        attempts += 1;
+        let s = VertexId(rng.below(cfg.vertices) as u32);
+        let d = VertexId(rng.below(cfg.vertices) as u32);
+        if s == d {
+            continue;
+        }
+        let l = rels[rng.below(rels.len())];
+        if seen.insert((s, l, d)) {
+            edges.push((s, l, d));
+        }
+    }
+
+    split_into_dataset(edges, vertex_labels, vertex_types, cfg.stream_frac, interner, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = UniformConfig { vertices: 50, edges: 600, seed: 9, ..UniformConfig::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.stream.ops(), b.stream.ops());
+        assert_eq!(a.g0.edge_count(), b.g0.edge_count());
+        let total = a.g0.edge_count() + a.stream.insert_count();
+        assert!(total >= 550, "close to requested edge count, got {total}");
+    }
+
+    #[test]
+    fn labels_round_robin_and_all_edge_labels_appear() {
+        let cfg = UniformConfig::default();
+        let d = generate(&cfg);
+        assert_eq!(d.g0.vertex_count(), cfg.vertices);
+        for i in 0..cfg.vertex_labels {
+            assert!(d.interner.get(&format!("T{i}")).is_some());
+        }
+        let mut labels = rustc_hash::FxHashSet::default();
+        for e in d.g0.edges() {
+            labels.insert(e.label);
+        }
+        assert_eq!(labels.len(), cfg.edge_labels);
+    }
+
+    #[test]
+    fn stream_replays_cleanly() {
+        let d = generate(&UniformConfig { seed: 3, ..UniformConfig::default() });
+        let mut g = d.g0.clone();
+        for op in &d.stream {
+            assert!(g.apply(op));
+        }
+        assert!(d.stream.insert_count() > 100);
+    }
+}

@@ -1,0 +1,24 @@
+//! Timestamped stream events.
+
+use tfx_graph::UpdateOp;
+
+/// One timestamped update in an ingestion stream.
+///
+/// Timestamps are abstract monotonically non-decreasing "ticks" — sources
+/// define what a tick means (a parsed `@ts` token, an auto-incremented line
+/// counter, a synthetic event counter). Windows and the driver only ever
+/// compare and subtract them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamEvent {
+    /// Event time, in source-defined ticks.
+    pub ts: u64,
+    /// The update itself.
+    pub op: UpdateOp,
+}
+
+impl StreamEvent {
+    /// Convenience constructor.
+    pub fn new(ts: u64, op: UpdateOp) -> Self {
+        StreamEvent { ts, op }
+    }
+}

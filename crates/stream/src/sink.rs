@@ -1,0 +1,231 @@
+//! Delta sinks: where match deltas go.
+//!
+//! The engine crates deliver matches to bare closures; the driver instead
+//! talks to a [`DeltaSink`] so destinations are first-class values — a
+//! counting sink for smoke tests, a JSONL writer for tooling, a callback
+//! adapter for embedding, a null sink for benchmarks.
+
+use std::io::Write;
+
+use tfx_graph::UpdateOp;
+use tfx_query::{MatchRecord, Positiveness};
+
+use crate::driver::{RunSummary, StreamStats};
+
+/// One match delta as delivered to a sink.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaRef<'a> {
+    /// Batch index (0-based) the triggering op was evaluated in.
+    pub batch: usize,
+    /// Engine (fleet registration index; 0 for a single engine).
+    pub engine: usize,
+    /// Index of the triggering op within its batch.
+    pub op_index: usize,
+    /// Index of the triggering op within the whole run.
+    pub global_op: usize,
+    /// Positive (match appeared) or negative (match disappeared).
+    pub positiveness: Positiveness,
+    /// The complete mapping. Borrowed; clone to keep.
+    pub record: &'a MatchRecord,
+}
+
+/// A destination for match deltas and per-batch statistics.
+pub trait DeltaSink {
+    /// The ops of a batch, just before they are applied. Default: ignored.
+    fn on_ops(&mut self, _batch: usize, _ops: &[UpdateOp]) {}
+
+    /// One match delta.
+    fn on_delta(&mut self, d: &DeltaRef<'_>);
+
+    /// A batch finished evaluating. Default: ignored.
+    fn on_batch(&mut self, _stats: &StreamStats) {}
+
+    /// The run finished. Default: ignored.
+    fn on_summary(&mut self, _summary: &RunSummary) {}
+}
+
+/// Discards everything (benchmark baseline).
+#[derive(Default)]
+pub struct NullSink;
+
+impl DeltaSink for NullSink {
+    fn on_delta(&mut self, _d: &DeltaRef<'_>) {}
+}
+
+/// Counts deltas without keeping them.
+#[derive(Default, Debug)]
+pub struct CountingSink {
+    /// Matches that appeared.
+    pub positive: u64,
+    /// Matches that disappeared.
+    pub negative: u64,
+}
+
+impl CountingSink {
+    /// Total deltas seen.
+    pub fn total(&self) -> u64 {
+        self.positive + self.negative
+    }
+}
+
+impl DeltaSink for CountingSink {
+    fn on_delta(&mut self, d: &DeltaRef<'_>) {
+        match d.positiveness {
+            Positiveness::Positive => self.positive += 1,
+            Positiveness::Negative => self.negative += 1,
+        }
+    }
+}
+
+/// Adapts a closure to a sink.
+pub struct CallbackSink<F: FnMut(&DeltaRef<'_>)> {
+    f: F,
+}
+
+impl<F: FnMut(&DeltaRef<'_>)> CallbackSink<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        CallbackSink { f }
+    }
+}
+
+impl<F: FnMut(&DeltaRef<'_>)> DeltaSink for CallbackSink<F> {
+    fn on_delta(&mut self, d: &DeltaRef<'_>) {
+        (self.f)(d);
+    }
+}
+
+/// Writes one JSON object per line: `delta` lines for matches, `batch`
+/// lines for per-batch [`StreamStats`], one final `summary` line.
+///
+/// The JSON is hand-rolled (the build has no serde): all values are
+/// integers or fixed strings, so escaping never arises.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Writes to `w`. Output is line-buffered by the caller's writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// The underlying writer (e.g. to flush at the end).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> DeltaSink for JsonlSink<W> {
+    fn on_delta(&mut self, d: &DeltaRef<'_>) {
+        let sign = match d.positiveness {
+            Positiveness::Positive => '+',
+            Positiveness::Negative => '-',
+        };
+        let mut line = format!(
+            "{{\"type\":\"delta\",\"batch\":{},\"op\":{},\"engine\":{},\"sign\":\"{sign}\",\"embedding\":[",
+            d.batch, d.global_op, d.engine
+        );
+        for (i, v) in d.record.as_slice().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&v.0.to_string());
+        }
+        line.push_str("]}");
+        let _ = writeln!(self.w, "{line}");
+    }
+
+    fn on_batch(&mut self, s: &StreamStats) {
+        let _ = writeln!(
+            self.w,
+            "{{\"type\":\"batch\",\"batch\":{},\"events\":{},\"ops\":{},\"inserts\":{},\"deletes\":{},\"expiry_deletes\":{},\"positive\":{},\"negative\":{},\"first_ts\":{},\"last_ts\":{},\"latency_us\":{}}}",
+            s.batch,
+            s.events_in,
+            s.ops_out,
+            s.inserts,
+            s.deletes,
+            s.expiry_deletes,
+            s.positive,
+            s.negative,
+            s.first_ts,
+            s.last_ts,
+            s.latency.as_micros(),
+        );
+    }
+
+    fn on_summary(&mut self, s: &RunSummary) {
+        let _ = writeln!(
+            self.w,
+            "{{\"type\":\"summary\",\"batches\":{},\"events\":{},\"ops\":{},\"expiry_deletes\":{},\"positive\":{},\"negative\":{},\"elapsed_us\":{}}}",
+            s.batches,
+            s.events,
+            s.ops,
+            s.expiry_deletes,
+            s.positive,
+            s.negative,
+            s.elapsed.as_micros(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn delta<'a>(rec: &'a MatchRecord, p: Positiveness) -> DeltaRef<'a> {
+        DeltaRef { batch: 1, engine: 0, op_index: 2, global_op: 7, positiveness: p, record: rec }
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let rec = MatchRecord::new(vec![tfx_graph::VertexId(3), tfx_graph::VertexId(9)]);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_delta(&delta(&rec, Positiveness::Positive));
+        sink.on_delta(&delta(&rec, Positiveness::Negative));
+        sink.on_batch(&StreamStats {
+            batch: 1,
+            events_in: 4,
+            ops_out: 5,
+            inserts: 3,
+            deletes: 2,
+            expiry_deletes: 1,
+            positive: 1,
+            negative: 1,
+            first_ts: 10,
+            last_ts: 13,
+            latency: Duration::from_micros(42),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"sign\":\"+\"") && lines[0].contains("\"embedding\":[3,9]"));
+        assert!(lines[1].contains("\"sign\":\"-\""));
+        assert!(lines[2].contains("\"type\":\"batch\"") && lines[2].contains("\"latency_us\":42"));
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let rec = MatchRecord::new(vec![tfx_graph::VertexId(0)]);
+        let mut sink = CountingSink::default();
+        sink.on_delta(&delta(&rec, Positiveness::Positive));
+        sink.on_delta(&delta(&rec, Positiveness::Positive));
+        sink.on_delta(&delta(&rec, Positiveness::Negative));
+        assert_eq!((sink.positive, sink.negative, sink.total()), (2, 1, 3));
+    }
+
+    #[test]
+    fn callback_sink_forwards() {
+        let rec = MatchRecord::new(vec![tfx_graph::VertexId(1)]);
+        let mut seen = 0;
+        {
+            let mut sink = CallbackSink::new(|d: &DeltaRef<'_>| {
+                assert_eq!(d.global_op, 7);
+                seen += 1;
+            });
+            sink.on_delta(&delta(&rec, Positiveness::Positive));
+        }
+        assert_eq!(seen, 1);
+    }
+}

@@ -1,0 +1,375 @@
+//! Stream sources: where timestamped events come from.
+//!
+//! [`FileSource`] is the canonical text source. Its format is a superset of
+//! the stream files the `tfx` CLI always accepted (`testdata/demo_stream.txt`
+//! parses unchanged):
+//!
+//! ```text
+//! v 7 User             # vertex 7 arrives with label User
+//! + 3 7 knows          # insert edge 3 -knows-> 7
+//! - 3 7 knows          # delete it again
+//! @120 + 3 8 knows     # the same, at explicit stream time 120
+//! @120 v 9 User        # equal timestamps are fine (FIFO order is kept)
+//! ```
+//!
+//! * `@<ts>` prefixes a line with an explicit event time. Timestamps must
+//!   be non-decreasing.
+//! * Untimestamped lines get an implicit monotonic timestamp: one tick
+//!   after the previous event (the first event is tick 0). Explicit and
+//!   implicit lines can be mixed; the implicit counter continues from the
+//!   last explicit time.
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Error handling is selected by [`ErrorMode`]: `Strict` stops at the first
+//! malformed line ([`SourceError`] carries its 1-based line number);
+//! `Lenient` skips malformed lines and records the same diagnostics in
+//! [`FileSource::diagnostics`], clamping regressing timestamps forward so
+//! the output stays monotonic.
+
+use std::io::BufRead;
+
+use tfx_graph::{LabelInterner, LabelSet, UpdateOp, VertexId};
+
+use crate::event::StreamEvent;
+
+/// A malformed line (or I/O failure) in a stream source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceError {
+    /// 1-based line number of the offending input; 0 for non-line errors.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// How a source reacts to malformed input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorMode {
+    /// Stop at the first malformed line.
+    Strict,
+    /// Skip malformed lines, recording a diagnostic per skip.
+    Lenient,
+}
+
+/// A source of timestamped update events.
+pub trait StreamSource {
+    /// The next event, `Ok(None)` at end of stream. Events must come in
+    /// non-decreasing timestamp order.
+    fn next_event(&mut self) -> Result<Option<StreamEvent>, SourceError>;
+}
+
+/// Replays a pre-built event vector. Useful in tests and as the adapter for
+/// anything that already produced `(ts, op)` pairs.
+pub struct VecSource {
+    events: std::vec::IntoIter<StreamEvent>,
+}
+
+impl VecSource {
+    /// Wraps an event vector (must already be timestamp-sorted).
+    pub fn new(events: Vec<StreamEvent>) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+        VecSource { events: events.into_iter() }
+    }
+}
+
+impl StreamSource for VecSource {
+    fn next_event(&mut self) -> Result<Option<StreamEvent>, SourceError> {
+        Ok(self.events.next())
+    }
+}
+
+/// Parses the timestamped text stream format from any [`BufRead`].
+///
+/// Labels are interned through the caller's [`LabelInterner`] so stream
+/// labels, graph labels and query labels share one id space.
+pub struct FileSource<'i, R: BufRead> {
+    reader: R,
+    interner: &'i mut LabelInterner,
+    mode: ErrorMode,
+    lineno: usize,
+    /// Time of the last emitted event; `None` before the first one.
+    clock: Option<u64>,
+    diagnostics: Vec<SourceError>,
+    buf: String,
+    done: bool,
+}
+
+impl<'i, R: BufRead> FileSource<'i, R> {
+    /// A source reading from `reader`, interning labels into `interner`.
+    pub fn new(reader: R, interner: &'i mut LabelInterner, mode: ErrorMode) -> Self {
+        FileSource {
+            reader,
+            interner,
+            mode,
+            lineno: 0,
+            clock: None,
+            diagnostics: Vec::new(),
+            buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// Diagnostics recorded so far (lenient mode only; strict mode returns
+    /// its first error from [`StreamSource::next_event`] instead).
+    pub fn diagnostics(&self) -> &[SourceError] {
+        &self.diagnostics
+    }
+
+    /// Number of input lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.lineno
+    }
+
+    /// Records (lenient) or returns (strict) a per-line failure.
+    fn fail(&mut self, line: usize, message: String) -> Result<(), SourceError> {
+        let err = SourceError { line, message };
+        match self.mode {
+            ErrorMode::Strict => Err(err),
+            ErrorMode::Lenient => {
+                self.diagnostics.push(err);
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses one non-empty, comment-stripped line into an event.
+    /// `Ok(None)` means the line was consumed by a lenient-mode skip.
+    fn parse_line(
+        &mut self,
+        line: &str,
+        lineno: usize,
+    ) -> Result<Option<StreamEvent>, SourceError> {
+        let mut parts = line.split_whitespace().peekable();
+        // Optional explicit timestamp token.
+        let mut ts = None;
+        if let Some(tok) = parts.peek() {
+            if let Some(raw) = tok.strip_prefix('@') {
+                match raw.parse::<u64>() {
+                    Ok(t) => ts = Some(t),
+                    Err(_) => {
+                        self.fail(lineno, format!("`@` needs an integer timestamp, got `@{raw}`"))?;
+                        return Ok(None);
+                    }
+                }
+                parts.next();
+            }
+        }
+        // Monotonicity: implicit lines tick forward; explicit regressions
+        // are an error (strict) or clamped to the current clock (lenient).
+        let implicit = self.clock.map_or(0, |c| c + 1);
+        let ts = match ts {
+            None => implicit,
+            Some(t) => {
+                if let Some(c) = self.clock {
+                    if t < c {
+                        self.fail(
+                            lineno,
+                            format!("timestamp @{t} regresses (stream is at @{c}); clamped"),
+                        )?;
+                        c
+                    } else {
+                        t
+                    }
+                } else {
+                    t
+                }
+            }
+        };
+
+        let Some(op) = parts.next() else {
+            self.fail(lineno, "timestamp without an operation".to_owned())?;
+            return Ok(None);
+        };
+        let parse_vertex = |s: Option<&str>| -> Result<VertexId, String> {
+            s.ok_or_else(|| "missing vertex id".to_owned())?
+                .parse::<u32>()
+                .map(VertexId)
+                .map_err(|_| "vertex ids are integers".to_owned())
+        };
+        let parsed: Result<UpdateOp, String> = match op {
+            "v" => parse_vertex(parts.next()).map(|id| {
+                let labels: LabelSet = parts.by_ref().map(|s| self.interner.intern(s)).collect();
+                UpdateOp::AddVertex { id, labels }
+            }),
+            "+" | "-" => (|| {
+                let src = parse_vertex(parts.next())?;
+                let dst = parse_vertex(parts.next())?;
+                let label = self
+                    .interner
+                    .intern(parts.next().ok_or_else(|| "edge ops need a label".to_owned())?);
+                if parts.next().is_some() {
+                    return Err("trailing tokens".to_owned());
+                }
+                Ok(if op == "+" {
+                    UpdateOp::InsertEdge { src, label, dst }
+                } else {
+                    UpdateOp::DeleteEdge { src, label, dst }
+                })
+            })(),
+            other => Err(format!("unknown op `{other}` (expected v, + or -)")),
+        };
+        match parsed {
+            Ok(op) => {
+                self.clock = Some(ts);
+                Ok(Some(StreamEvent { ts, op }))
+            }
+            Err(message) => {
+                self.fail(lineno, message)?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl<R: BufRead> StreamSource for FileSource<'_, R> {
+    fn next_event(&mut self) -> Result<Option<StreamEvent>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            self.buf.clear();
+            let n = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(|e| SourceError { line: self.lineno + 1, message: e.to_string() })?;
+            if n == 0 {
+                self.done = true;
+                return Ok(None);
+            }
+            self.lineno += 1;
+            let lineno = self.lineno;
+            let line = self.buf.split('#').next().unwrap_or("").trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(ev) = self.parse_line(&line, lineno)? {
+                return Ok(Some(ev));
+            }
+        }
+    }
+}
+
+/// Drains a source to completion into a vector (test / tooling helper).
+pub fn collect_events(src: &mut dyn StreamSource) -> Result<Vec<StreamEvent>, SourceError> {
+    let mut out = Vec::new();
+    while let Some(ev) = src.next_event()? {
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::LabelId;
+
+    fn parse_all(
+        text: &str,
+        mode: ErrorMode,
+    ) -> (Result<Vec<StreamEvent>, SourceError>, Vec<SourceError>) {
+        let mut it = LabelInterner::new();
+        let mut src = FileSource::new(text.as_bytes(), &mut it, mode);
+        let got = collect_events(&mut src);
+        let diags = src.diagnostics().to_vec();
+        (got, diags)
+    }
+
+    #[test]
+    fn untimestamped_lines_get_implicit_monotonic_ticks() {
+        let text = "+ 0 1 a\n\n# comment\nv 2 B\n- 0 1 a\n";
+        let (got, diags) = parse_all(text, ErrorMode::Strict);
+        let got = got.unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(got.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(matches!(got[0].op, UpdateOp::InsertEdge { .. }));
+        assert!(matches!(got[1].op, UpdateOp::AddVertex { .. }));
+        assert!(matches!(got[2].op, UpdateOp::DeleteEdge { .. }));
+    }
+
+    #[test]
+    fn explicit_timestamps_mix_with_implicit_ones() {
+        let text = "+ 0 1 a\n@10 + 1 2 a\n+ 2 3 a\n@11 + 3 4 a\n@12 v 9\n";
+        let (got, _) = parse_all(text, ErrorMode::Strict);
+        let ts: Vec<u64> = got.unwrap().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 10, 11, 11, 12]);
+    }
+
+    #[test]
+    fn strict_mode_reports_first_error_with_line_number() {
+        let text = "+ 0 1 a\n+ 0 oops a\n+ 1 2 a\n";
+        let (got, _) = parse_all(text, ErrorMode::Strict);
+        let err = got.unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("vertex ids are integers"));
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_records_line_numbers() {
+        let text = "+ 0 1 a\nbogus line\n+ 0 nan a\n@x + 1 2 a\n+ 1 2 a # fine\n+ 1 2\n";
+        let (got, diags) = parse_all(text, ErrorMode::Lenient);
+        let got = got.unwrap();
+        assert_eq!(got.len(), 2, "two well-formed events survive");
+        assert_eq!(got[1].ts, 1, "implicit clock skips bad lines without jumping");
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 6]);
+        assert!(diags[0].message.contains("unknown op"));
+        assert!(diags[1].message.contains("vertex ids are integers"));
+        assert!(diags[2].message.contains("integer timestamp"));
+        assert!(diags[3].message.contains("edge ops need a label"));
+    }
+
+    #[test]
+    fn timestamp_regression_is_strict_error_lenient_clamp() {
+        let text = "@10 + 0 1 a\n@5 + 1 2 a\n";
+        let (got, _) = parse_all(text, ErrorMode::Strict);
+        let err = got.unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("regresses"));
+
+        let (got, diags) = parse_all(text, ErrorMode::Lenient);
+        let got = got.unwrap();
+        assert_eq!(got.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![10, 10], "clamped");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn demo_stream_format_parses_unchanged() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../testdata/demo_stream.txt"
+        ))
+        .expect("testdata present");
+        let (got, diags) = parse_all(&text, ErrorMode::Strict);
+        let got = got.unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(got.len(), 6);
+        assert_eq!(got.iter().map(|e| e.ts).collect::<Vec<_>>(), (0..6).collect::<Vec<u64>>());
+        assert_eq!(got.iter().filter(|e| e.op.is_insert()).count(), 4);
+        assert_eq!(got.iter().filter(|e| e.op.is_delete()).count(), 1);
+    }
+
+    #[test]
+    fn labels_intern_through_the_shared_interner() {
+        let mut it = LabelInterner::new();
+        let knows = it.intern("knows");
+        let mut src = FileSource::new("+ 0 1 knows\n".as_bytes(), &mut it, ErrorMode::Strict);
+        let ev = src.next_event().unwrap().unwrap();
+        match ev.op {
+            UpdateOp::InsertEdge { label, .. } => assert_eq!(label, knows),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(it.get("knows"), Some(LabelId(0)));
+    }
+}

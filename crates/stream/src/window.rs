@@ -1,0 +1,419 @@
+//! Sliding windows: turning an insert stream into insert + expiry-delete ops.
+//!
+//! The paper's streaming workloads never delete explicitly — a Netflow flow
+//! is simply *old* at some point. A [`SlidingWindow`] makes that expiry
+//! concrete: it forwards every incoming op and additionally emits
+//! `DeleteEdge` ops for stream-inserted edges that leave the window, so a
+//! downstream engine sees an ordinary insert/delete stream.
+//!
+//! # Semantics
+//!
+//! * **Time window** (`width`): an edge inserted at time `t` is valid over
+//!   `[t, t + width)`; it expires as soon as an event with `ts >= t + width`
+//!   arrives. Expiry deletes are emitted *before* the op of the event that
+//!   triggered them.
+//! * **Count window** (`capacity`): the window holds the most recent
+//!   `capacity` live stream inserts; pushing one more evicts the oldest
+//!   (an exactly-full window evicts nothing).
+//! * **Eviction order** is FIFO in arrival order — among equal timestamps
+//!   the earlier-pushed edge leaves first — so output is deterministic.
+//! * **Duplicate (parallel) stream inserts** of the same `(src, label, dst)`
+//!   are tracked as separate window entries, but the expiry delete is only
+//!   emitted when the *last* live instance leaves: the data graph has edge
+//!   set semantics, so deleting while a duplicate is still inside the
+//!   window would kill an edge that logically remains.
+//! * **Upstream explicit deletes** cancel every live instance of the edge
+//!   immediately (the delete op passes through); the cancelled entries are
+//!   discarded silently when they later reach the window boundary, so an
+//!   edge is never double-deleted.
+//! * Vertex arrivals and deletes of edges the window never saw (e.g. `g0`
+//!   edges) pass through untouched; vertices do not expire.
+//!
+//! Only stream inserts are windowed: the initial graph `g0` is standing
+//! state, exactly like a `CREATE`-loaded warehouse before a `WSCAN` starts.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+use tfx_graph::{LabelId, UpdateOp, VertexId};
+
+use crate::event::StreamEvent;
+
+/// What bounds the window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WindowSpec {
+    /// No expiry; the window only forwards ops (and still de-duplicates
+    /// nothing — it is a pass-through).
+    Unbounded,
+    /// Edges live for `width` ticks: valid over `[ts, ts + width)`.
+    Time {
+        /// Window width in ticks (≥ 1).
+        width: u64,
+    },
+    /// The most recent `capacity` live stream inserts.
+    Count {
+        /// Maximum number of live entries (≥ 1).
+        capacity: usize,
+    },
+}
+
+impl WindowSpec {
+    /// Parses `time:<width>` / `count:<capacity>` / `none`.
+    pub fn parse(s: &str) -> Option<WindowSpec> {
+        if s == "none" {
+            return Some(WindowSpec::Unbounded);
+        }
+        let (kind, n) = s.split_once(':')?;
+        match kind {
+            "time" => n.parse().ok().filter(|&w| w >= 1).map(|width| WindowSpec::Time { width }),
+            "count" => {
+                n.parse().ok().filter(|&c| c >= 1).map(|capacity| WindowSpec::Count { capacity })
+            }
+            _ => None,
+        }
+    }
+}
+
+type EdgeKey = (VertexId, LabelId, VertexId);
+
+/// One windowed stream insert.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    ts: u64,
+    key: EdgeKey,
+}
+
+/// A sliding-window manager over one event stream.
+///
+/// Feed events in timestamp order with [`SlidingWindow::push`]; every op to
+/// forward downstream (expiry deletes first, then the event's own op) is
+/// appended to the caller's buffer.
+pub struct SlidingWindow {
+    spec: WindowSpec,
+    /// Window entries in arrival (FIFO) order, including cancelled ones.
+    entries: VecDeque<Entry>,
+    /// Live (not cancelled) instance count per edge.
+    live: FxHashMap<EdgeKey, u32>,
+    /// Entries still in the deque whose edge was explicitly deleted
+    /// upstream: discarded on arrival at the boundary, no delete emitted.
+    cancelled: FxHashMap<EdgeKey, u32>,
+    /// Total live entries (deque length minus cancelled entries).
+    live_total: usize,
+    /// Expiry deletes emitted so far.
+    expired: u64,
+}
+
+impl SlidingWindow {
+    /// A window with the given bound.
+    pub fn new(spec: WindowSpec) -> Self {
+        if let WindowSpec::Time { width } = spec {
+            assert!(width >= 1, "time windows need width >= 1");
+        }
+        if let WindowSpec::Count { capacity } = spec {
+            assert!(capacity >= 1, "count windows need capacity >= 1");
+        }
+        SlidingWindow {
+            spec,
+            entries: VecDeque::new(),
+            live: FxHashMap::default(),
+            cancelled: FxHashMap::default(),
+            live_total: 0,
+            expired: 0,
+        }
+    }
+
+    /// Number of live stream inserts currently inside the window.
+    pub fn live_len(&self) -> usize {
+        self.live_total
+    }
+
+    /// Expiry deletes emitted so far (excludes pass-through deletes).
+    pub fn expired_count(&self) -> u64 {
+        self.expired
+    }
+
+    /// Feeds one event; appends the ops to forward (expiry deletes, then
+    /// the event's own op) to `out`. Events must arrive in non-decreasing
+    /// timestamp order.
+    pub fn push(&mut self, ev: &StreamEvent, out: &mut Vec<UpdateOp>) {
+        if let WindowSpec::Time { width } = self.spec {
+            self.expire_older_than(ev.ts, width, out);
+        }
+        match ev.op {
+            UpdateOp::AddVertex { .. } => out.push(ev.op.clone()),
+            UpdateOp::InsertEdge { src, label, dst } => {
+                out.push(ev.op.clone());
+                let key = (src, label, dst);
+                self.entries.push_back(Entry { ts: ev.ts, key });
+                *self.live.entry(key).or_insert(0) += 1;
+                self.live_total += 1;
+                if let WindowSpec::Count { capacity } = self.spec {
+                    while self.live_total > capacity {
+                        self.evict_oldest_live(out);
+                    }
+                }
+            }
+            UpdateOp::DeleteEdge { src, label, dst } => {
+                let key = (src, label, dst);
+                if let Some(n) = self.live.remove(&key) {
+                    *self.cancelled.entry(key).or_insert(0) += n;
+                    self.live_total -= n as usize;
+                }
+                out.push(ev.op.clone());
+            }
+        }
+    }
+
+    /// Expires every remaining live entry in FIFO order (end-of-stream
+    /// teardown; makes a windowed run leave an engine holding only `g0`
+    /// plus pass-through state).
+    pub fn drain(&mut self, out: &mut Vec<UpdateOp>) {
+        while self.live_total > 0 {
+            self.evict_oldest_live(out);
+        }
+        self.entries.clear();
+        self.cancelled.clear();
+    }
+
+    /// Pops entries with `ts + width <= now`, emitting deletes for edges
+    /// whose last live instance leaves.
+    fn expire_older_than(&mut self, now: u64, width: u64, out: &mut Vec<UpdateOp>) {
+        while let Some(front) = self.entries.front() {
+            if front.ts.saturating_add(width) > now {
+                break;
+            }
+            let e = *front;
+            self.entries.pop_front();
+            self.retire(e.key, out);
+        }
+    }
+
+    /// Pops the oldest entry that is still live (discarding cancelled ones
+    /// on the way), emitting its delete if it was the last instance.
+    fn evict_oldest_live(&mut self, out: &mut Vec<UpdateOp>) {
+        debug_assert!(self.live_total > 0);
+        while let Some(e) = self.entries.pop_front() {
+            let was_live = self.retire(e.key, out);
+            if was_live {
+                return;
+            }
+        }
+        unreachable!("live_total > 0 implies a live entry in the deque");
+    }
+
+    /// Retires one popped entry: cancelled entries are discarded, live ones
+    /// decrement their instance count and emit the delete when it reaches
+    /// zero. Returns whether the entry was live.
+    fn retire(&mut self, key: EdgeKey, out: &mut Vec<UpdateOp>) -> bool {
+        if let Some(c) = self.cancelled.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.cancelled.remove(&key);
+            }
+            return false;
+        }
+        let n = self.live.get_mut(&key).expect("uncancelled entry is live");
+        *n -= 1;
+        self.live_total -= 1;
+        if *n == 0 {
+            self.live.remove(&key);
+            self.expired += 1;
+            out.push(UpdateOp::DeleteEdge { src: key.0, label: key.1, dst: key.2 });
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::LabelSet;
+
+    fn ins(ts: u64, s: u32, d: u32) -> StreamEvent {
+        StreamEvent::new(
+            ts,
+            UpdateOp::InsertEdge { src: VertexId(s), label: LabelId(0), dst: VertexId(d) },
+        )
+    }
+
+    fn del(ts: u64, s: u32, d: u32) -> StreamEvent {
+        StreamEvent::new(
+            ts,
+            UpdateOp::DeleteEdge { src: VertexId(s), label: LabelId(0), dst: VertexId(d) },
+        )
+    }
+
+    fn del_op(s: u32, d: u32) -> UpdateOp {
+        UpdateOp::DeleteEdge { src: VertexId(s), label: LabelId(0), dst: VertexId(d) }
+    }
+
+    fn ins_op(s: u32, d: u32) -> UpdateOp {
+        UpdateOp::InsertEdge { src: VertexId(s), label: LabelId(0), dst: VertexId(d) }
+    }
+
+    fn run(spec: WindowSpec, events: &[StreamEvent]) -> Vec<UpdateOp> {
+        let mut w = SlidingWindow::new(spec);
+        let mut out = Vec::new();
+        for ev in events {
+            w.push(ev, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn time_window_expires_by_validity_interval() {
+        // width 10: edge@0 valid over [0, 10), expires at the ts=10 event.
+        let out = run(
+            WindowSpec::Time { width: 10 },
+            &[ins(0, 0, 1), ins(9, 1, 2), ins(10, 2, 3), ins(25, 3, 4)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ins_op(0, 1),
+                ins_op(1, 2),
+                del_op(0, 1), // @10: the ts=0 edge leaves first…
+                ins_op(2, 3), // …before the triggering insert
+                del_op(1, 2),
+                del_op(2, 3), // @25: both remaining edges expire, FIFO
+                ins_op(3, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_window_boundary_exactly_full_vs_overflow() {
+        let evs = [ins(0, 0, 1), ins(1, 1, 2), ins(2, 2, 3)];
+        // Exactly full: capacity 3 evicts nothing.
+        let out = run(WindowSpec::Count { capacity: 3 }, &evs);
+        assert_eq!(out, vec![ins_op(0, 1), ins_op(1, 2), ins_op(2, 3)]);
+        // Overflow by one: the oldest leaves, delete *after* the insert
+        // that pushed the window over (the insert happens, then the window
+        // re-bounds itself).
+        let out = run(WindowSpec::Count { capacity: 2 }, &evs);
+        assert_eq!(out, vec![ins_op(0, 1), ins_op(1, 2), ins_op(2, 3), del_op(0, 1)]);
+        let mut w = SlidingWindow::new(WindowSpec::Count { capacity: 2 });
+        let mut buf = Vec::new();
+        for e in &evs {
+            w.push(e, &mut buf);
+        }
+        assert_eq!(w.live_len(), 2);
+        assert_eq!(w.expired_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_parallel_edges_expire_in_insertion_order_delete_on_last() {
+        // The same edge twice in the window: evicting the first instance
+        // must NOT emit a delete (the edge is still logically present).
+        let out = run(
+            WindowSpec::Count { capacity: 2 },
+            &[ins(0, 0, 1), ins(1, 0, 1), ins(2, 5, 6), ins(3, 7, 8)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ins_op(0, 1),
+                ins_op(0, 1), // duplicate forwarded (engine treats as no-op)
+                ins_op(5, 6),
+                // evicting instance #1 of (0,1): no delete yet
+                ins_op(7, 8),
+                del_op(0, 1), // instance #2 leaves: now the edge is gone
+            ]
+        );
+    }
+
+    #[test]
+    fn upstream_delete_cancels_expiry_no_double_delete() {
+        let out = run(WindowSpec::Time { width: 5 }, &[ins(0, 0, 1), del(2, 0, 1), ins(7, 1, 2)]);
+        // The explicit delete passes through once; the ts=0 entry reaching
+        // the boundary at ts=7 is discarded silently.
+        assert_eq!(out, vec![ins_op(0, 1), del_op(0, 1), ins_op(1, 2)]);
+
+        // Same for count windows: the cancelled entry does not occupy a
+        // live slot, and eviction skips it without emitting anything.
+        let out = run(
+            WindowSpec::Count { capacity: 2 },
+            &[ins(0, 0, 1), del(1, 0, 1), ins(2, 1, 2), ins(3, 2, 3), ins(4, 3, 4)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ins_op(0, 1),
+                del_op(0, 1),
+                ins_op(1, 2),
+                ins_op(2, 3),
+                ins_op(3, 4),
+                del_op(1, 2), // (1,2) is the oldest *live* entry
+            ]
+        );
+    }
+
+    #[test]
+    fn delete_after_reinsert_only_cancels_live_instances() {
+        // insert, delete, re-insert: the cancelled first instance must not
+        // swallow the second one's expiry.
+        let out = run(
+            WindowSpec::Time { width: 4 },
+            &[ins(0, 0, 1), del(1, 0, 1), ins(2, 0, 1), ins(8, 9, 9)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ins_op(0, 1),
+                del_op(0, 1),
+                ins_op(0, 1),
+                del_op(0, 1), // second instance expires at ts=8 (2+4 <= 8)
+                ins_op(9, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn unbounded_window_is_a_pass_through() {
+        let evs = [ins(0, 0, 1), del(100, 0, 1), ins(200, 1, 2)];
+        let out = run(WindowSpec::Unbounded, &evs);
+        assert_eq!(out, vec![ins_op(0, 1), del_op(0, 1), ins_op(1, 2)]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let out = run(
+            WindowSpec::Time { width: 1 },
+            &[ins(0, 0, 1), ins(0, 1, 2), ins(0, 2, 3), ins(1, 9, 9)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ins_op(0, 1),
+                ins_op(1, 2),
+                ins_op(2, 3),
+                del_op(0, 1),
+                del_op(1, 2),
+                del_op(2, 3),
+                ins_op(9, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn vertices_pass_through_and_never_expire() {
+        let v =
+            StreamEvent::new(0, UpdateOp::AddVertex { id: VertexId(7), labels: LabelSet::empty() });
+        let out = run(WindowSpec::Time { width: 1 }, &[v.clone(), ins(5, 0, 1)]);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], UpdateOp::AddVertex { .. }));
+    }
+
+    #[test]
+    fn drain_expires_everything_fifo() {
+        let mut w = SlidingWindow::new(WindowSpec::Time { width: 100 });
+        let mut out = Vec::new();
+        for e in [ins(0, 0, 1), ins(1, 1, 2), del(2, 0, 1)] {
+            w.push(&e, &mut out);
+        }
+        out.clear();
+        w.drain(&mut out);
+        assert_eq!(out, vec![del_op(1, 2)], "cancelled entry drains silently");
+        assert_eq!(w.live_len(), 0);
+    }
+}

@@ -4,10 +4,13 @@
 //! they appear").
 //!
 //! The data is a Netflow-like trace (unlabeled hosts, eight protocol edge
-//! labels) from the built-in generator. The monitored pattern is a
-//! lateral-movement chain: an external host reaches an internal host over
-//! `tcp`, which then fans out over `tcp` to two further hosts that both
-//! call back to the *same* command-and-control host over `udp`.
+//! labels) from the built-in generator, replayed through a **time-based
+//! sliding window**: each flow record carries a timestamp, and flows older
+//! than the window width expire automatically instead of being deleted by
+//! hand. The monitored pattern is a lateral-movement chain: an external
+//! host reaches an internal host over `tcp`, which then fans out over
+//! `tcp` to two further hosts that both call back to the *same*
+//! command-and-control host over `udp`.
 //!
 //! ```sh
 //! cargo run --release --example network_intrusion
@@ -17,7 +20,7 @@ use turboflux::datagen::{netflow, NetflowConfig};
 use turboflux::prelude::*;
 
 fn main() {
-    let dataset = netflow::generate(&NetflowConfig {
+    let mut dataset = netflow::generate(&NetflowConfig {
         hosts: 800,
         flows: 12_000,
         seed: 0x5EC,
@@ -49,37 +52,57 @@ fn main() {
     engine.initial_matches(&mut |_| initial += 1);
     println!("{initial} instances already present in the initial trace");
 
-    let t = std::time::Instant::now();
+    // One tick per flow record, so a width of 600 keeps the 600 most
+    // recent flows alive; anything older expires out of the match state.
+    let width = 600;
+    let source = SyntheticSource::from_stream(std::mem::take(&mut dataset.stream), 1);
+    let mut driver =
+        StreamDriver::new(SlidingWindow::new(WindowSpec::Time { width }), BatchPolicy::by_ops(256));
+
     let mut appeared = 0u64;
+    let mut vanished = 0u64;
     let mut first: Option<(usize, String)> = None;
-    for (i, op) in dataset.stream.ops().iter().enumerate() {
-        engine.apply(op, &mut |p, m| {
-            if p == Positiveness::Positive {
-                appeared += 1;
-                if first.is_none() {
-                    first = Some((
-                        i,
-                        format!(
-                            "{} -> {} -> [{}, {}] ~> C2 {}",
-                            m.get(QVertexId(0)),
-                            m.get(QVertexId(1)),
-                            m.get(QVertexId(2)),
-                            m.get(QVertexId(3)),
-                            m.get(QVertexId(4)),
-                        ),
-                    ));
-                }
+    let mut sink = CallbackSink::new(|d: &DeltaRef<'_>| {
+        if d.positiveness == Positiveness::Positive {
+            appeared += 1;
+            if first.is_none() {
+                let m = d.record;
+                first = Some((
+                    d.global_op,
+                    format!(
+                        "{} -> {} -> [{}, {}] ~> C2 {}",
+                        m.get(QVertexId(0)),
+                        m.get(QVertexId(1)),
+                        m.get(QVertexId(2)),
+                        m.get(QVertexId(3)),
+                        m.get(QVertexId(4)),
+                    ),
+                ));
             }
-        });
-    }
-    let elapsed = t.elapsed();
-    if let Some((i, desc)) = &first {
-        println!("first new intrusion instance appeared at stream position {i}: {desc}");
+        } else {
+            vanished += 1;
+        }
+    });
+    let summary = {
+        let mut source = source;
+        driver.run(&mut source, &mut engine, &mut sink).expect("synthetic source never fails")
+    };
+
+    if let Some((op, desc)) = &first {
+        println!("first new intrusion instance appeared at op {op}: {desc}");
     }
     println!(
-        "streamed {} flows in {elapsed:.2?} ({:.0} flows/s); {appeared} new pattern instances; DCG {} KB",
-        dataset.stream.len(),
-        dataset.stream.len() as f64 / elapsed.as_secs_f64(),
+        "streamed {} flows -> {} ops ({} window expiries) in {:.2?} ({:.0} flows/s)",
+        summary.events,
+        summary.ops,
+        summary.expiry_deletes,
+        summary.elapsed,
+        summary.events as f64 / summary.elapsed.as_secs_f64(),
+    );
+    println!(
+        "{appeared} pattern instances appeared, {vanished} aged out of the {width}-tick window; \
+         {} flows still live; DCG {} KB",
+        driver.window().live_len(),
         engine.intermediate_result_bytes() / 1024,
     );
 }

@@ -37,4 +37,23 @@ echo "=== explosive_update (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench explosive_update
 
+echo "=== window_churn (quick) ==="
+# Exercises the sliding-window eviction path, the batching driver, and the
+# stream-file parser under the release profile.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench window_churn
+
+echo "=== tfx stream smoke ==="
+# The CLI subcommand end to end against the checked-in testdata: a count-3
+# window over the demo stream must evict exactly one edge and report the
+# same four deltas every run.
+deltas=$(target/release/tfx stream \
+  --query testdata/demo_query.txt --graph testdata/demo_graph.txt \
+  --file testdata/demo_stream.txt --window count:3 \
+  | grep -c '"type":"delta"')
+if [ "$deltas" != "4" ]; then
+  echo "tfx stream smoke: expected 4 deltas, got $deltas" >&2
+  exit 1
+fi
+
 echo "ci: all green"

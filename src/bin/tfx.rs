@@ -1,29 +1,60 @@
 //! `tfx` — command-line continuous subgraph matching.
 //!
-//! Loads an initial data graph and a query (both in the simple text format
-//! of `tfx_query::parser`), registers the query with the TurboFlux engine,
-//! then streams update operations from a file (or stdin) and prints every
-//! positive / negative match as it appears.
+//! Two modes:
+//!
+//! **Run mode** (the original interface). Loads an initial data graph and a
+//! query (both in the text format of `tfx_query::parser`), registers the
+//! query, then streams update operations from a file (or stdin) and prints
+//! every positive / negative match as it appears:
 //!
 //! ```sh
 //! tfx <graph.txt> <query.txt> [--stream <ops.txt>] [--iso] [--quiet]
 //! ```
 //!
-//! Stream format, one operation per line (`#` comments allowed):
+//! **Stream mode** (`tfx stream`). Full ingestion pipeline: a timestamped
+//! source (text file or built-in synthetic generator), an optional sliding
+//! window that expires old edges, a batching driver, and JSONL delta/stats
+//! output on stdout:
+//!
+//! ```sh
+//! tfx stream --query <q.txt> --file <ops.txt> --graph <g.txt> --window time:100
+//! tfx stream --query <q.txt> --synthetic netflow --window count:1000 --iso
+//! ```
+//!
+//! Both modes share one stream text format (see `tfx_stream::source`):
 //!
 //! ```text
 //! v 7 User            # vertex 7 arrives with label User
 //! + 3 7 knows         # insert edge 3 -knows-> 7
 //! - 3 7 knows         # delete it again
+//! @120 + 3 8 knows    # the same, at explicit stream time 120
 //! ```
 
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use turboflux::prelude::*;
 use turboflux::query::parser;
+use turboflux::stream::{
+    BatchPolicy, BatchTarget, CountingSink, ErrorMode, FileSource, JsonlSink, SlidingWindow,
+    StreamDriver, StreamSource, SyntheticKind, SyntheticSource, WindowSpec,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stream") {
+        stream_main(&args[1..])
+    } else {
+        run_main(&args)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run mode (original interface)
+// ---------------------------------------------------------------------------
 
 fn usage(code: u8) -> ExitCode {
     eprintln!("usage: tfx <graph.txt> <query.txt> [--stream <ops.txt>|-] [--iso] [--quiet]");
+    eprintln!("       tfx stream --help");
     ExitCode::from(code)
 }
 
@@ -35,8 +66,8 @@ struct Options {
     quiet: bool,
 }
 
-fn parse_args() -> Result<Options, ExitCode> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+    let mut args = args.iter();
     let mut positional = Vec::new();
     let mut stream_path = None;
     let mut semantics = MatchSemantics::Homomorphism;
@@ -48,7 +79,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                     eprintln!("error: --stream requires a path (or - for stdin)");
                     return Err(usage(2));
                 };
-                stream_path = Some(p);
+                stream_path = Some(p.clone());
             }
             "--iso" => semantics = MatchSemantics::Isomorphism,
             "--quiet" => quiet = true,
@@ -73,85 +104,73 @@ fn parse_args() -> Result<Options, ExitCode> {
     })
 }
 
-/// Parses one stream line into an operation. The interner assigns fresh
-/// label ids for labels never seen in the graph or query.
-fn parse_op(line: &str, lineno: usize, it: &mut LabelInterner) -> Result<Option<UpdateOp>, String> {
-    let line = line.split('#').next().unwrap_or("").trim();
-    if line.is_empty() {
-        return Ok(None);
+/// Opens a path (or stdin for `-`) as a buffered reader.
+fn open_reader(path: &str) -> Result<Box<dyn BufRead>, ExitCode> {
+    if path == "-" {
+        return Ok(Box::new(BufReader::new(std::io::stdin())));
     }
-    let mut parts = line.split_whitespace();
-    let op = parts.next().expect("non-empty line");
-    let parse_vertex = |s: Option<&str>| -> Result<VertexId, String> {
-        s.ok_or_else(|| format!("line {lineno}: missing vertex id"))?
-            .parse::<u32>()
-            .map(VertexId)
-            .map_err(|_| format!("line {lineno}: vertex ids are integers"))
-    };
-    match op {
-        "v" => {
-            let id = parse_vertex(parts.next())?;
-            let labels: LabelSet = parts.map(|s| it.intern(s)).collect();
-            Ok(Some(UpdateOp::AddVertex { id, labels }))
+    match std::fs::File::open(path) {
+        Ok(f) => Ok(Box::new(BufReader::new(f))),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            Err(ExitCode::FAILURE)
         }
-        "+" | "-" => {
-            let src = parse_vertex(parts.next())?;
-            let dst = parse_vertex(parts.next())?;
-            let label = it.intern(
-                parts.next().ok_or_else(|| format!("line {lineno}: edge ops need a label"))?,
-            );
-            if parts.next().is_some() {
-                return Err(format!("line {lineno}: trailing tokens"));
-            }
-            Ok(Some(if op == "+" {
-                UpdateOp::InsertEdge { src, label, dst }
-            } else {
-                UpdateOp::DeleteEdge { src, label, dst }
-            }))
-        }
-        other => Err(format!("line {lineno}: unknown op `{other}` (expected v, + or -)")),
     }
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
+fn load_query(path: &str, interner: &mut LabelInterner) -> Result<QueryGraph, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let q = match parser::parse_query(&text, interner) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    if q.edge_count() == 0 || !q.is_connected() {
+        eprintln!("error: the query must be connected and have at least one edge ({path})");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(q)
+}
+
+fn load_graph(path: &str, interner: &mut LabelInterner) -> Result<DynamicGraph, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match parser::parse_data_graph(&text, interner) {
+        Ok(g) => Ok(g),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_main(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(code) => return code,
     };
     let mut interner = LabelInterner::new();
-
-    let graph_text = match std::fs::read_to_string(&opts.graph_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.graph_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let g0 = match parser::parse_data_graph(&graph_text, &mut interner) {
+    let g0 = match load_graph(&opts.graph_path, &mut interner) {
         Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {}: {e}", opts.graph_path);
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
-    let query_text = match std::fs::read_to_string(&opts.query_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.query_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let q = match parser::parse_query(&query_text, &mut interner) {
+    let q = match load_query(&opts.query_path, &mut interner) {
         Ok(q) => q,
-        Err(e) => {
-            eprintln!("error: {}: {e}", opts.query_path);
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
-    if q.edge_count() == 0 || !q.is_connected() {
-        eprintln!("error: the query must be connected and have at least one edge");
-        return ExitCode::FAILURE;
-    }
 
     eprintln!(
         "graph: {} vertices, {} edges; query: {} vertices, {} edges ({:?})",
@@ -176,38 +195,25 @@ fn main() -> ExitCode {
     let Some(stream_path) = opts.stream_path else {
         return ExitCode::SUCCESS;
     };
-    let reader: Box<dyn Read> = if stream_path == "-" {
-        Box::new(std::io::stdin())
-    } else {
-        match std::fs::File::open(&stream_path) {
-            Ok(f) => Box::new(f),
-            Err(e) => {
-                eprintln!("error: cannot read {stream_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let reader = match open_reader(&stream_path) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
 
     let (mut pos, mut neg, mut ops) = (0u64, 0u64, 0u64);
     let started = std::time::Instant::now();
-    for (i, line) in BufReader::new(reader).lines().enumerate() {
-        let line = match line {
-            Ok(l) => l,
+    let mut source = FileSource::new(reader, &mut interner, ErrorMode::Strict);
+    loop {
+        let ev = match source.next_event() {
+            Ok(None) => break,
+            Ok(Some(ev)) => ev,
             Err(e) => {
-                eprintln!("error: reading stream: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let op = match parse_op(&line, i + 1, &mut interner) {
-            Ok(None) => continue,
-            Ok(Some(op)) => op,
-            Err(msg) => {
-                eprintln!("error: {msg}");
+                eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
         ops += 1;
-        engine.apply(&op, &mut |p, m| {
+        engine.apply(&ev.op, &mut |p, m| {
             match p {
                 Positiveness::Positive => pos += 1,
                 Positiveness::Negative => neg += 1,
@@ -223,6 +229,321 @@ fn main() -> ExitCode {
         started.elapsed(),
         engine.dcg().stored_edge_count(),
         engine.intermediate_result_bytes(),
+    );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Stream mode
+// ---------------------------------------------------------------------------
+
+fn stream_usage(code: u8) -> ExitCode {
+    eprintln!(
+        "usage: tfx stream --query <q.txt> [--query <q2.txt> ...]
+                  (--file <ops.txt>|- | --synthetic uniform|hub|lsbench|netflow)
+                  [--graph <g.txt>]          initial graph (file source only)
+                  [--window time:<W>|count:<N>|none]   sliding window (default none)
+                  [--batch-ops <N>]          flush batches at N ops (default 256)
+                  [--batch-ticks <T>]        flush batches every T stream ticks
+                  [--drain]                  expire the whole window at end of stream
+                  [--iso]                    isomorphism semantics (default homomorphism)
+                  [--lenient]                skip malformed stream lines (default strict)
+                  [--fleet <threads>]        evaluate queries on a fleet with N threads
+                  [--seed <S>]               synthetic generator seed (default 2018)
+                  [--ticks-per-event <T>]    synthetic clock rate (default 1)
+                  [--quiet]                  suppress JSONL deltas, keep counts
+
+Emits JSONL on stdout: delta lines, per-batch stats lines, one summary line."
+    );
+    ExitCode::from(code)
+}
+
+struct StreamOptions {
+    query_paths: Vec<String>,
+    graph_path: Option<String>,
+    file: Option<String>,
+    synthetic: Option<SyntheticKind>,
+    window: WindowSpec,
+    batch_ops: usize,
+    batch_ticks: Option<u64>,
+    drain: bool,
+    semantics: MatchSemantics,
+    mode: ErrorMode,
+    fleet_threads: Option<usize>,
+    seed: u64,
+    ticks_per_event: u64,
+    quiet: bool,
+}
+
+fn parse_stream_args(args: &[String]) -> Result<StreamOptions, ExitCode> {
+    let mut o = StreamOptions {
+        query_paths: Vec::new(),
+        graph_path: None,
+        file: None,
+        synthetic: None,
+        window: WindowSpec::Unbounded,
+        batch_ops: 256,
+        batch_ticks: None,
+        drain: false,
+        semantics: MatchSemantics::Homomorphism,
+        mode: ErrorMode::Strict,
+        fleet_threads: None,
+        seed: 2018,
+        ticks_per_event: 1,
+        quiet: false,
+    };
+    let mut args = args.iter();
+    let value = |args: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, ExitCode> {
+        args.next().cloned().ok_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            stream_usage(2)
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--query" => o.query_paths.push(value(&mut args, "--query")?),
+            "--graph" => o.graph_path = Some(value(&mut args, "--graph")?),
+            "--file" => o.file = Some(value(&mut args, "--file")?),
+            "--synthetic" => {
+                let v = value(&mut args, "--synthetic")?;
+                let Some(kind) = SyntheticKind::parse(&v) else {
+                    eprintln!("error: unknown synthetic kind `{v}` (uniform|hub|lsbench|netflow)");
+                    return Err(stream_usage(2));
+                };
+                o.synthetic = Some(kind);
+            }
+            "--window" => {
+                let v = value(&mut args, "--window")?;
+                let Some(spec) = WindowSpec::parse(&v) else {
+                    eprintln!("error: bad window `{v}` (time:<width>|count:<capacity>|none)");
+                    return Err(stream_usage(2));
+                };
+                o.window = spec;
+            }
+            "--batch-ops" => {
+                let v = value(&mut args, "--batch-ops")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => o.batch_ops = n,
+                    _ => {
+                        eprintln!("error: --batch-ops needs an integer >= 1");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
+            "--batch-ticks" => {
+                let v = value(&mut args, "--batch-ticks")?;
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => o.batch_ticks = Some(n),
+                    _ => {
+                        eprintln!("error: --batch-ticks needs an integer >= 1");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
+            "--drain" => o.drain = true,
+            "--iso" => o.semantics = MatchSemantics::Isomorphism,
+            "--lenient" => o.mode = ErrorMode::Lenient,
+            "--fleet" => {
+                let v = value(&mut args, "--fleet")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => o.fleet_threads = Some(n),
+                    _ => {
+                        eprintln!("error: --fleet needs a thread count >= 1");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
+            "--seed" => {
+                let v = value(&mut args, "--seed")?;
+                match v.parse::<u64>() {
+                    Ok(n) => o.seed = n,
+                    _ => {
+                        eprintln!("error: --seed needs an integer");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
+            "--ticks-per-event" => {
+                let v = value(&mut args, "--ticks-per-event")?;
+                match v.parse::<u64>() {
+                    Ok(n) => o.ticks_per_event = n,
+                    _ => {
+                        eprintln!("error: --ticks-per-event needs an integer");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => return Err(stream_usage(0)),
+            other => {
+                eprintln!("error: unknown stream flag `{other}`");
+                return Err(stream_usage(2));
+            }
+        }
+    }
+    if o.query_paths.is_empty() {
+        eprintln!("error: at least one --query is required");
+        return Err(stream_usage(2));
+    }
+    match (&o.file, &o.synthetic) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --file and --synthetic are mutually exclusive");
+            Err(stream_usage(2))
+        }
+        (None, None) => {
+            eprintln!("error: one of --file or --synthetic is required");
+            Err(stream_usage(2))
+        }
+        _ => Ok(o),
+    }
+}
+
+/// The evaluation target: one engine or a fleet.
+enum Target {
+    Single(Box<TurboFlux>),
+    Fleet(Fleet),
+}
+
+impl Target {
+    fn as_batch_target(&mut self) -> &mut dyn BatchTarget {
+        match self {
+            Target::Single(e) => &mut **e,
+            Target::Fleet(f) => f,
+        }
+    }
+}
+
+fn stream_main(args: &[String]) -> ExitCode {
+    let opts = match parse_stream_args(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    // Interner + initial graph + (for synthetic mode) the generated stream.
+    let mut interner;
+    let g0;
+    let mut synthetic_source = None;
+    if let Some(kind) = opts.synthetic {
+        let (dataset, source) = SyntheticSource::demo(kind, opts.seed, opts.ticks_per_event);
+        interner = dataset.interner;
+        g0 = dataset.g0;
+        synthetic_source = Some(source);
+        if opts.graph_path.is_some() {
+            eprintln!(
+                "error: --graph only applies to --file sources (synthetic brings its own g0)"
+            );
+            return ExitCode::from(2);
+        }
+    } else {
+        interner = LabelInterner::new();
+        g0 = match &opts.graph_path {
+            Some(p) => match load_graph(p, &mut interner) {
+                Ok(g) => g,
+                Err(code) => return code,
+            },
+            None => DynamicGraph::new(),
+        };
+    }
+
+    let mut queries = Vec::new();
+    for p in &opts.query_paths {
+        match load_query(p, &mut interner) {
+            Ok(q) => queries.push(q),
+            Err(code) => return code,
+        }
+    }
+    eprintln!(
+        "stream: g0 {} vertices / {} edges; {} quer{} ({:?}); window {:?}",
+        g0.vertex_count(),
+        g0.edge_count(),
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        opts.semantics,
+        opts.window,
+    );
+
+    // Build the target and report initial match counts per engine.
+    let cfg = TurboFluxConfig::with_semantics(opts.semantics);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut target = if opts.fleet_threads.is_some() || queries.len() > 1 {
+        let threads = opts.fleet_threads.unwrap_or(1);
+        let mut fleet = Fleet::with_threads(g0, threads);
+        for q in queries {
+            fleet.register(q, cfg);
+        }
+        for id in 0..fleet.engine_count() {
+            let mut n = 0u64;
+            fleet.report_initial(id, &mut |_| n += 1);
+            let _ = writeln!(out, "{{\"type\":\"init\",\"engine\":{id},\"matches\":{n}}}");
+        }
+        Target::Fleet(fleet)
+    } else {
+        let q = queries.into_iter().next().expect("at least one query");
+        let mut engine = TurboFlux::new(q, g0, cfg);
+        let mut n = 0u64;
+        engine.initial_matches(&mut |_| n += 1);
+        let _ = writeln!(out, "{{\"type\":\"init\",\"engine\":0,\"matches\":{n}}}");
+        Target::Single(Box::new(engine))
+    };
+
+    let mut driver = StreamDriver::new(
+        SlidingWindow::new(opts.window),
+        BatchPolicy {
+            max_ops: opts.batch_ops,
+            max_ticks: opts.batch_ticks,
+            drain_at_end: opts.drain,
+        },
+    );
+
+    // Run: the source is either the synthetic stream or the text file.
+    let run = |driver: &mut StreamDriver,
+               source: &mut dyn StreamSource,
+               target: &mut Target,
+               out: &mut dyn Write,
+               quiet: bool| {
+        if quiet {
+            let mut sink = CountingSink::default();
+            driver.run(source, target.as_batch_target(), &mut sink)
+        } else {
+            let mut sink = JsonlSink::new(out);
+            driver.run(source, target.as_batch_target(), &mut sink)
+        }
+    };
+    let result = if let Some(mut source) = synthetic_source.take() {
+        run(&mut driver, &mut source, &mut target, &mut out, opts.quiet)
+    } else {
+        let path = opts.file.as_deref().expect("file or synthetic");
+        let reader = match open_reader(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        let mut source = FileSource::new(reader, &mut interner, opts.mode);
+        let result = run(&mut driver, &mut source, &mut target, &mut out, opts.quiet);
+        for d in source.diagnostics() {
+            eprintln!("warning: {d}");
+        }
+        result
+    };
+    let summary = match result {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = out.flush();
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = out.flush();
+    eprintln!(
+        "processed {} events -> {} ops in {} batches ({} expiry deletes) in {:.2?}: {} positive, {} negative; window live {}",
+        summary.events,
+        summary.ops,
+        summary.batches,
+        summary.expiry_deletes,
+        summary.elapsed,
+        summary.positive,
+        summary.negative,
+        driver.window().live_len(),
     );
     ExitCode::SUCCESS
 }

@@ -48,6 +48,7 @@
 //! | [`core`] | the TurboFlux engine: DCG + edge transition model |
 //! | [`baselines`] | SJ-Tree, Graphflow, IncIsoMat, naive recompute |
 //! | [`datagen`] | LSBench-like / Netflow-like generators, query generators |
+//! | [`stream`] | ingestion: timestamped sources, sliding windows, batching driver, delta sinks |
 
 pub use tfx_baselines as baselines;
 pub use tfx_core as core;
@@ -55,6 +56,7 @@ pub use tfx_datagen as datagen;
 pub use tfx_graph as graph;
 pub use tfx_match as matcher;
 pub use tfx_query as query;
+pub use tfx_stream as stream;
 
 pub use tfx_core::fleet;
 pub use tfx_core::{Fleet, FleetDelta, TurboFlux, TurboFluxConfig};
@@ -67,5 +69,9 @@ pub mod prelude {
     };
     pub use tfx_query::{
         ContinuousMatcher, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph,
+    };
+    pub use tfx_stream::{
+        BatchPolicy, CallbackSink, CountingSink, DeltaRef, DeltaSink, SlidingWindow, StreamDriver,
+        StreamEvent, StreamSource, SyntheticKind, SyntheticSource, WindowSpec,
     };
 }

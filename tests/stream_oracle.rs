@@ -1,0 +1,306 @@
+//! Randomized oracle for the streaming ingestion subsystem: a windowed,
+//! batched driver run must produce deltas **byte-identical** to replaying
+//! the window's emitted op sequence one op at a time on a fresh engine.
+//!
+//! The window is a pure op-sequence transformer (inserts in, inserts plus
+//! expiry deletes out) and batching only changes *when* ops reach the
+//! target, never *what* — so for any scenario, window spec, batch policy,
+//! semantics, and target (single engine, fleet sequential, fleet
+//! parallel), the recorded `(global_op, engine, sign, embedding)` stream
+//! must match the replay exactly, in order.
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+use turboflux::stream::VecSource;
+
+/// `(global_op, engine, positiveness, record)` — the full identity of a
+/// delta as far as a downstream consumer can observe it.
+type Delta = (usize, usize, Positiveness, MatchRecord);
+
+/// Records the window's emitted ops (via `on_ops`) and every delta.
+#[derive(Default)]
+struct RecordingSink {
+    ops: Vec<UpdateOp>,
+    deltas: Vec<Delta>,
+}
+
+impl DeltaSink for RecordingSink {
+    fn on_ops(&mut self, _batch: usize, ops: &[UpdateOp]) {
+        self.ops.extend_from_slice(ops);
+    }
+    fn on_delta(&mut self, d: &DeltaRef<'_>) {
+        self.deltas.push((d.global_op, d.engine, d.positiveness, d.record.clone()));
+    }
+}
+
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    queries: Vec<QueryGraph>,
+    events: Vec<StreamEvent>,
+}
+
+/// A small random graph, 1–3 random queries, and a timestamped event
+/// sequence biased toward inserts, with enough duplicate edges and
+/// upstream deletes to exercise the window's multigraph bookkeeping.
+fn random_scenario(rng: &mut Pcg32) -> Scenario {
+    let nv = 3 + rng.below(4) as u32;
+    let mut g = DynamicGraph::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for _ in 0..rng.below(5) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        g.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
+    }
+
+    let nqueries = 1 + rng.below(3);
+    let queries: Vec<QueryGraph> = (0..nqueries)
+        .map(|_| {
+            let nq = 2 + rng.below(3) as u32;
+            random_query(rng, nq)
+        })
+        .collect();
+
+    let mut events = Vec::new();
+    let mut inserted: Vec<(VertexId, LabelId, VertexId)> = Vec::new();
+    let mut vertices = nv;
+    let mut ts = 0u64;
+    for _ in 0..(10 + rng.below(20)) {
+        ts += rng.below(3) as u64; // non-decreasing, frequent ties
+        match rng.below(12) {
+            0 => {
+                events.push(StreamEvent::new(
+                    ts,
+                    UpdateOp::AddVertex {
+                        id: VertexId(vertices),
+                        labels: LabelSet::single(LabelId(rng.below(2) as u32)),
+                    },
+                ));
+                vertices += 1;
+            }
+            1 | 2 if !inserted.is_empty() => {
+                // Upstream delete of a still-windowed insert: the window
+                // must cancel the pending expiry, not double-delete.
+                let (s, l, d) = inserted[rng.below(inserted.len())];
+                events
+                    .push(StreamEvent::new(ts, UpdateOp::DeleteEdge { src: s, label: l, dst: d }));
+            }
+            _ => {
+                let s = VertexId(rng.below(vertices as usize) as u32);
+                let d = VertexId(rng.below(vertices as usize) as u32);
+                let l = LabelId(10 + rng.below(2) as u32);
+                // ~1 in 4 inserts duplicates an earlier edge key.
+                let (s, l, d) = if !inserted.is_empty() && rng.below(4) == 0 {
+                    inserted[rng.below(inserted.len())]
+                } else {
+                    (s, l, d)
+                };
+                events
+                    .push(StreamEvent::new(ts, UpdateOp::InsertEdge { src: s, label: l, dst: d }));
+                inserted.push((s, l, d));
+            }
+        }
+    }
+    Scenario { g0: g, queries, events }
+}
+
+fn random_window(rng: &mut Pcg32) -> WindowSpec {
+    match rng.below(3) {
+        0 => WindowSpec::Time { width: 1 + rng.below(8) as u64 },
+        1 => WindowSpec::Count { capacity: 1 + rng.below(6) },
+        _ => WindowSpec::Unbounded,
+    }
+}
+
+fn random_policy(rng: &mut Pcg32) -> BatchPolicy {
+    BatchPolicy {
+        max_ops: 1 + rng.below(7),
+        max_ticks: if rng.below(2) == 0 { Some(1 + rng.below(5) as u64) } else { None },
+        drain_at_end: rng.below(2) == 0,
+    }
+}
+
+/// Runs the windowed driver against `target`, returning the emitted op
+/// sequence and the delta stream.
+fn windowed_run(
+    scenario: &Scenario,
+    spec: WindowSpec,
+    policy: BatchPolicy,
+    target: &mut dyn turboflux::stream::BatchTarget,
+) -> (Vec<UpdateOp>, Vec<Delta>) {
+    let mut source = VecSource::new(scenario.events.clone());
+    let mut driver = StreamDriver::new(SlidingWindow::new(spec), policy);
+    let mut sink = RecordingSink::default();
+    driver.run(&mut source, target, &mut sink).expect("vec sources never fail");
+    (sink.ops, sink.deltas)
+}
+
+/// Replays `ops` one per batch on a fresh fleet — the ground truth.
+fn replay(scenario: &Scenario, semantics: MatchSemantics, ops: &[UpdateOp]) -> Vec<Delta> {
+    let mut fleet = Fleet::with_threads(scenario.g0.clone(), 1);
+    for q in &scenario.queries {
+        fleet.register(q.clone(), TurboFluxConfig::with_semantics(semantics));
+    }
+    let mut deltas = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        fleet.apply_batch(std::slice::from_ref(op), &mut |d| {
+            deltas.push((i, d.engine, d.positiveness, d.record.clone()));
+        });
+    }
+    deltas
+}
+
+/// Stable-sorts by engine, preserving each engine's own delta order.
+fn by_engine(mut deltas: Vec<Delta>) -> Vec<Delta> {
+    deltas.sort_by_key(|d| d.1);
+    deltas
+}
+
+fn check_seed(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    let scenario = random_scenario(&mut rng);
+    let spec = random_window(&mut rng);
+    let policy = random_policy(&mut rng);
+
+    // Target 1: single sequential engine (first query only).
+    let mut engine = TurboFlux::new(
+        scenario.queries[0].clone(),
+        scenario.g0.clone(),
+        TurboFluxConfig::with_semantics(semantics),
+    );
+    let (ops, got) = windowed_run(&scenario, spec, policy, &mut engine);
+    let single = Scenario {
+        g0: scenario.g0.clone(),
+        queries: vec![scenario.queries[0].clone()],
+        events: Vec::new(),
+    };
+    let want = replay(&single, semantics, &ops);
+    assert_eq!(got, want, "single engine diverged from replay (seed {seed}, {spec:?}, {policy:?})");
+
+    // Target 2: parallel fleet over all queries.
+    let mut fleet = Fleet::with_threads(scenario.g0.clone(), 4);
+    for q in &scenario.queries {
+        fleet.register(q.clone(), TurboFluxConfig::with_semantics(semantics));
+    }
+    let (fleet_ops, fleet_got) = windowed_run(&scenario, spec, policy, &mut fleet);
+    assert_eq!(ops, fleet_ops, "window output must not depend on the target (seed {seed})");
+    // The fleet's contract orders deltas (engine, op, emission) *within a
+    // batch*, so the cross-engine interleave depends on batch granularity;
+    // each engine's own delta stream must match the replay exactly.
+    let fleet_want = replay(&scenario, semantics, &ops);
+    assert_eq!(
+        by_engine(fleet_got),
+        by_engine(fleet_want),
+        "fleet diverged from replay (seed {seed}, {spec:?}, {policy:?})"
+    );
+
+    // Batching invariance: a different policy over the same window spec
+    // yields the identical delta stream.
+    let mut engine2 = TurboFlux::new(
+        scenario.queries[0].clone(),
+        scenario.g0.clone(),
+        TurboFluxConfig::with_semantics(semantics),
+    );
+    let other = BatchPolicy { max_ops: 1, max_ticks: None, drain_at_end: policy.drain_at_end };
+    let (ops2, got2) = windowed_run(&scenario, spec, other, &mut engine2);
+    assert_eq!(ops, ops2, "op sequence must not depend on batching (seed {seed})");
+    assert_eq!(got, got2, "deltas must not depend on batching (seed {seed})");
+}
+
+#[test]
+fn windowed_runs_match_replay_homomorphism() {
+    for seed in 0..40 {
+        check_seed(seed, MatchSemantics::Homomorphism);
+    }
+}
+
+#[test]
+fn windowed_runs_match_replay_isomorphism() {
+    for seed in 100..140 {
+        check_seed(seed, MatchSemantics::Isomorphism);
+    }
+}
+
+/// The fleet path with one worker must agree with the parallel path under
+/// windowing too (the fleet tests pin this for raw batches; this pins it
+/// end-to-end through the driver).
+#[test]
+fn fleet_thread_counts_agree_under_windowing() {
+    for seed in 200..215 {
+        let mut rng = Pcg32::new(seed);
+        let scenario = random_scenario(&mut rng);
+        let spec = random_window(&mut rng);
+        let policy = random_policy(&mut rng);
+        let mut runs = Vec::new();
+        for threads in [1, 4] {
+            let mut fleet = Fleet::with_threads(scenario.g0.clone(), threads);
+            for q in &scenario.queries {
+                fleet.register(
+                    q.clone(),
+                    TurboFluxConfig::with_semantics(MatchSemantics::Homomorphism),
+                );
+            }
+            runs.push(windowed_run(&scenario, spec, policy, &mut fleet));
+        }
+        assert_eq!(runs[0], runs[1], "thread count changed windowed deltas (seed {seed})");
+    }
+}
+
+/// A drained window leaves the engine back at its initial-graph state:
+/// every positive delta is paired with a negative one.
+#[test]
+fn drain_restores_zero_sum() {
+    for seed in 300..320 {
+        let mut rng = Pcg32::new(seed);
+        let scenario = random_scenario(&mut rng);
+        // Insert-only variant so drain teardown is the only delete source,
+        // and no streamed insert shadows a pre-existing g0 edge (expiring
+        // such an insert would tear down state the stream never created).
+        let g0_edges: HashSet<(VertexId, LabelId, VertexId)> =
+            scenario.g0.edges().map(|e| (e.src, e.label, e.dst)).collect();
+        let events: Vec<StreamEvent> = scenario
+            .events
+            .iter()
+            .filter(|e| match e.op {
+                UpdateOp::DeleteEdge { .. } => false,
+                UpdateOp::InsertEdge { src, label, dst } => !g0_edges.contains(&(src, label, dst)),
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        let mut engine = TurboFlux::new(
+            scenario.queries[0].clone(),
+            scenario.g0.clone(),
+            TurboFluxConfig::default(),
+        );
+        let mut source = VecSource::new(events);
+        let mut driver = StreamDriver::new(
+            SlidingWindow::new(WindowSpec::Count { capacity: 3 }),
+            BatchPolicy { drain_at_end: true, ..BatchPolicy::default() },
+        );
+        let mut sink = CountingSink::default();
+        let summary = driver.run(&mut source, &mut engine, &mut sink).unwrap();
+        assert_eq!(sink.positive, sink.negative, "drain must cancel every match (seed {seed})");
+        assert_eq!(driver.window().live_len(), 0);
+        assert_eq!(summary.positive, sink.positive);
+    }
+}
