@@ -11,7 +11,7 @@
 //! the standard delta-query rule: a solution is kept only in the evaluation
 //! of the *smallest* query edge that maps onto the updated data edge.
 
-use tfx_graph::{AdjacencyMode, DynamicGraph, LabelId, UpdateOp, VertexId};
+use tfx_graph::{intersect_into, AdjacencyMode, DynamicGraph, LabelId, UpdateOp, VertexId};
 use tfx_query::{
     ContinuousMatcher, EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId, QueryGraph,
 };
@@ -79,21 +79,61 @@ impl Graphflow {
         true
     }
 
-    /// Candidates for `u` by intersecting from the cheapest bound
-    /// neighbor's adjacency (the generic-join leapfrog step, binary case).
+    /// Candidates for `u` as the generic-join intersection of *every*
+    /// bound neighbor's adjacency list (smallest-first, through the
+    /// vectorized merge/gallop kernels). `joinable` re-verifies each edge
+    /// afterwards, so the intersection only prunes — it cannot change the
+    /// reported match set.
     fn candidates(&self, u: QVertexId, m: &[Option<VertexId>]) -> Vec<VertexId> {
-        let mut best: Option<(usize, Vec<VertexId>)> = None;
+        // (zero-copy promoted run | materialized sorted+deduped list)
+        enum Src<'g> {
+            Borrowed(&'g [VertexId]),
+            Owned(Vec<VertexId>),
+        }
+        impl Src<'_> {
+            fn as_slice(&self) -> &[VertexId] {
+                match self {
+                    Src::Borrowed(s) => s,
+                    Src::Owned(v) => v,
+                }
+            }
+        }
+        let mut sources: Vec<Src<'_>> = Vec::new();
+        let mut push = |follow_out: bool, mw: VertexId, label: Option<LabelId>| match label {
+            Some(l) => {
+                let run = if follow_out {
+                    self.g.out_neighbors_labeled(mw, l)
+                } else {
+                    self.g.in_neighbors_labeled(mw, l)
+                };
+                match run.as_id_slice() {
+                    Some(ids) => sources.push(Src::Borrowed(ids)),
+                    None => {
+                        let mut buf = Vec::with_capacity(run.len());
+                        run.extend_into(&mut buf);
+                        sources.push(Src::Owned(buf));
+                    }
+                }
+            }
+            None => {
+                // Wildcard: neighbors repeat across label groups.
+                let mut buf: Vec<VertexId> = if follow_out {
+                    self.g.out_neighbors_matching(mw, None, AdjacencyMode::Indexed).collect()
+                } else {
+                    self.g.in_neighbors_matching(mw, None, AdjacencyMode::Indexed).collect()
+                };
+                buf.sort_unstable();
+                buf.dedup();
+                sources.push(Src::Owned(buf));
+            }
+        };
         for &(w, e) in self.q.in_adj(u) {
             if w == u {
                 continue;
             }
             if let Some(mw) = m[w.index()] {
-                let label = self.q.edge(e).label;
-                let list: Vec<VertexId> =
-                    self.g.out_neighbors_matching(mw, label, AdjacencyMode::Indexed).collect();
-                if best.as_ref().is_none_or(|(c, _)| list.len() < *c) {
-                    best = Some((list.len(), list));
-                }
+                // edge w -> u: follow out-edges of m(w)
+                push(true, mw, self.q.edge(e).label);
             }
         }
         for &(w, e) in self.q.out_adj(u) {
@@ -101,18 +141,26 @@ impl Graphflow {
                 continue;
             }
             if let Some(mw) = m[w.index()] {
-                let label = self.q.edge(e).label;
-                let list: Vec<VertexId> =
-                    self.g.in_neighbors_matching(mw, label, AdjacencyMode::Indexed).collect();
-                if best.as_ref().is_none_or(|(c, _)| list.len() < *c) {
-                    best = Some((list.len(), list));
-                }
+                // edge u -> w: follow in-edges of m(w)
+                push(false, mw, self.q.edge(e).label);
             }
         }
-        let mut out = best.map(|(_, l)| l).unwrap_or_default();
-        out.sort_unstable();
-        out.dedup();
-        out
+        sources.sort_by_key(|s| s.as_slice().len());
+        let mut iter = sources.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut cur: Vec<VertexId> = first.as_slice().to_vec();
+        let mut tmp: Vec<VertexId> = Vec::new();
+        for s in iter {
+            if cur.is_empty() {
+                break;
+            }
+            tmp.clear();
+            intersect_into(&cur, s.as_slice(), &mut tmp);
+            std::mem::swap(&mut cur, &mut tmp);
+        }
+        cur
     }
 
     /// Next unbound query vertex adjacent to a bound one.

@@ -1,0 +1,121 @@
+//! Motif counting through the backtracking matcher: the end-to-end gauge
+//! for the candidate-intersection rewrite.
+//!
+//! Two layers:
+//!
+//! * `motif` — count directed triangles and 4-cycles on a uniform random
+//!   graph under both extension strategies. `PivotScan` is the pre-kernel
+//!   path (scan the single cheapest bound neighbor's list, reject per edge
+//!   with hash probes); `Intersect` folds *every* bound neighbor's sorted
+//!   run through the merge/gallop kernels. Same match counts, different
+//!   work per extension.
+//! * `intersect_kernels` — the raw kernels on synthetic sorted runs at the
+//!   size ratios the dispatcher distinguishes (balanced → linear/SIMD,
+//!   skewed → gallop), against the scalar reference merge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tfx_datagen::{uniform, UniformConfig};
+use tfx_graph::intersect::{
+    intersect_gallop_into, intersect_into, intersect_linear_into, intersect_reference,
+};
+use tfx_graph::VertexId;
+use tfx_match::{enumerate_matches_with, ExtendStrategy};
+use tfx_query::{MatchSemantics, QueryGraph};
+
+/// Directed k-cycle with one concrete edge label and wildcard vertices.
+fn cycle_query(k: usize, label: tfx_graph::LabelId) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let vs: Vec<_> = (0..k).map(|_| q.add_vertex(tfx_graph::LabelSet::empty())).collect();
+    for i in 0..k {
+        q.add_edge(vs[i], vs[(i + 1) % k], Some(label));
+    }
+    q
+}
+
+fn motif(c: &mut Criterion) {
+    // Dense enough that hot vertices cross the promotion threshold and the
+    // intersection sees real promoted runs; single edge label keeps every
+    // query edge on the concrete zero-copy path.
+    let d = uniform::generate(&UniformConfig {
+        vertices: 600,
+        vertex_labels: 1,
+        edge_labels: 1,
+        edges: 12_000,
+        seed: 2018,
+        stream_frac: 0.0,
+    });
+    let g = d.final_graph();
+    let label = d.interner.get("r0").expect("uniform datagen interns r0");
+
+    let mut group = c.benchmark_group("motif");
+    group.sample_size(10);
+    for (name, k) in [("triangle", 3), ("four_cycle", 4)] {
+        let q = cycle_query(k, label);
+        // Both strategies must agree on the count — guard before timing.
+        let count = |s: ExtendStrategy| {
+            let mut n = 0u64;
+            enumerate_matches_with(&g, &q, MatchSemantics::Homomorphism, s, &mut |_| {
+                n += 1;
+                true
+            });
+            n
+        };
+        let expected = count(ExtendStrategy::PivotScan);
+        assert_eq!(expected, count(ExtendStrategy::Intersect), "{name}: strategies disagree");
+        assert!(expected > 0, "{name}: workload produced no matches — bench is vacuous");
+        group.throughput(Throughput::Elements(expected));
+        for strategy in [ExtendStrategy::Intersect, ExtendStrategy::PivotScan] {
+            group.bench_function(format!("{name}/{strategy:?}"), |b| {
+                b.iter(|| black_box(count(strategy)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Sorted run of `len` ids: every `stride`-th value from `start`.
+fn run(start: u32, stride: u32, len: usize) -> Vec<VertexId> {
+    (0..len as u32).map(|i| VertexId(start + i * stride)).collect()
+}
+
+fn intersect_kernels(c: &mut Criterion) {
+    // Balanced overlap (co-prime strides → sparse hits) and skewed
+    // needle-in-haystack, the two regimes the dispatcher splits on.
+    let balanced = (run(0, 3, 4096), run(0, 7, 4096));
+    let skewed = (run(0, 64, 128), run(0, 1, 65_536));
+
+    let mut group = c.benchmark_group("intersect_kernels");
+    for (name, (a, b)) in [("balanced_4k", &balanced), ("skewed_128_64k", &skewed)] {
+        group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        group.bench_function(format!("{name}/auto"), |bch| {
+            bch.iter(|| {
+                out.clear();
+                intersect_into(black_box(a), black_box(b), &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_function(format!("{name}/linear"), |bch| {
+            bch.iter(|| {
+                out.clear();
+                intersect_linear_into(black_box(a), black_box(b), &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_function(format!("{name}/gallop"), |bch| {
+            bch.iter(|| {
+                out.clear();
+                intersect_gallop_into(black_box(a), black_box(b), &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_function(format!("{name}/reference"), |bch| {
+            bch.iter(|| black_box(intersect_reference(black_box(a), black_box(b)).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, motif, intersect_kernels);
+criterion_main!(benches);

@@ -51,6 +51,7 @@ pub use dcg::{Dcg, EdgeState};
 pub use engine::TurboFlux;
 pub use fleet::{Fleet, FleetDelta};
 pub use order::OrderMaintenance;
+pub use search::INTERSECT_MIN_FRONTIER;
 pub use spec::{reference_dcg, DcgImage};
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub(crate) struct SearchScratch {
     pub(crate) tree_edges: Vec<EdgeId>,
     /// Non-tree query edges matching the current updated data edge.
     pub(crate) non_tree: Vec<EdgeId>,
+    /// Segmented stack of explicit-frontier ids for the non-tree-edge
+    /// intersection prefilter (`search.rs`).
+    pub(crate) isect: Vec<VertexId>,
+    /// Ping-pong buffer for folding successive run intersections into the
+    /// top `isect` segment.
+    pub(crate) isect_tmp: Vec<VertexId>,
     /// How many entries of `m` currently map to each data vertex. Only
     /// maintained when `track_bound` is set (isomorphism semantics);
     /// inserts and removals balance, so the map stays at its high-water

@@ -22,13 +22,20 @@
 //! which is required for correctness when the updated edge matches several
 //! tree edges.
 
-use tfx_graph::{DynamicGraph, LabelId, VertexId};
+use tfx_graph::{intersect_into, DynamicGraph, LabelId, VertexId};
 use tfx_query::{EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
 use crate::scratch::SearchScratch;
 use crate::tree_nav::data_pair;
+
+/// Minimum explicit-frontier size before enumeration intersects the
+/// frontier with bound non-tree neighbors' adjacency runs instead of
+/// probing per candidate inside `IsJoinable`. Below this, the kernel setup
+/// (copying the frontier into scratch) costs more than the probes it saves.
+/// Public so tests sizing a frontier to cross it reference the real value.
+pub const INTERSECT_MIN_FRONTIER: usize = 8;
 
 /// Per-invocation search context.
 #[derive(Clone, Copy, Debug)]
@@ -193,6 +200,11 @@ impl TurboFlux {
             debug_assert_ne!(u, us, "the starting vertex is always pre-bound");
             let vp = scratch.m[self.tree.parent(u).expect("non-root").index()]
                 .expect("parent precedes child in matching order");
+            let slice = self.dcg.out_edge_slice(vp, u);
+            if slice.len() >= INTERSECT_MIN_FRONTIER && self.has_bound_non_tree_run(u, scratch) {
+                self.search_intersected(g, ctx, depth, u, vp, scratch, sink);
+                return;
+            }
             // The slice borrow only needs `&self`; enumeration never
             // mutates the DCG, so no candidate buffer is required.
             for &(v, st) in self.dcg.out_edge_slice(vp, u) {
@@ -201,6 +213,100 @@ impl TurboFlux {
                 }
             }
         }
+    }
+
+    /// True iff some non-tree query edge incident to `u` has a concrete
+    /// label and its other endpoint already bound — i.e. the intersection
+    /// prefilter below has at least one adjacency run to fold in.
+    fn has_bound_non_tree_run(&self, u: QVertexId, scratch: &SearchScratch) -> bool {
+        self.non_tree_incident[u.index()].iter().any(|&e| {
+            let qe = self.q.edge(e);
+            qe.label.is_some()
+                && (qe.src == u) != (qe.dst == u) // skip self-loops
+                && scratch.m[if qe.src == u { qe.dst } else { qe.src }.index()].is_some()
+        })
+    }
+
+    /// Enumeration with the intersection prefilter: copies the explicit DCG
+    /// frontier of `(vp, u)` into scratch, intersects it with the adjacency
+    /// run of every bound non-tree neighbor (via the `tfx-graph` kernels),
+    /// and expands only the survivors.
+    ///
+    /// Behavior-preserving: a candidate `v` missing from the run of a bound
+    /// neighbor `m(w)` fails exactly the `has_edge_matching` probe that
+    /// `IsJoinable` would apply to the same non-tree edge, so the prefilter
+    /// only removes candidates `expand_candidate` would reject. Both the
+    /// frontier (DCG runs are sorted) and the adjacency runs are sorted and
+    /// duplicate-free, so survivors keep the enumeration order of the plain
+    /// loop.
+    #[allow(clippy::too_many_arguments)]
+    fn search_intersected(
+        &self,
+        g: &DynamicGraph,
+        ctx: &SearchCtx,
+        depth: usize,
+        u: QVertexId,
+        vp: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        let base = scratch.isect.len();
+        for &(v, st) in self.dcg.out_edge_slice(vp, u) {
+            if st == EdgeState::Explicit {
+                scratch.isect.push(v);
+            }
+        }
+        for &e in &self.non_tree_incident[u.index()] {
+            if scratch.isect.len() == base {
+                break; // already empty; folding more runs cannot revive it
+            }
+            let qe = self.q.edge(e);
+            let Some(label) = qe.label else { continue };
+            // Query edge u → w maps to data edge v → m(w), so candidates
+            // lie in m(w)'s *in*-run; w → u symmetrically in its out-run.
+            let run = if qe.src == u && qe.dst != u {
+                match scratch.m[qe.dst.index()] {
+                    Some(w) => g.in_neighbors_labeled(w, label),
+                    None => continue,
+                }
+            } else if qe.dst == u && qe.src != u {
+                match scratch.m[qe.src.index()] {
+                    Some(w) => g.out_neighbors_labeled(w, label),
+                    None => continue,
+                }
+            } else {
+                continue; // self-loop: left to IsJoinable
+            };
+            let tmp_base = scratch.isect_tmp.len();
+            let SearchScratch { isect, isect_tmp, .. } = scratch;
+            if let Some(ids) = run.as_id_slice() {
+                intersect_into(&isect[base..], ids, isect_tmp);
+            } else {
+                // Small inline run: merge through its iterator directly —
+                // materializing first would cost the same pass.
+                let mut it = run.peekable();
+                for &x in &isect[base..] {
+                    while it.next_if(|&y| y < x).is_some() {}
+                    if it.next_if_eq(&x).is_some() {
+                        isect_tmp.push(x);
+                    }
+                }
+            }
+            scratch.isect.truncate(base);
+            let (lo, hi) = (tmp_base, scratch.isect_tmp.len());
+            scratch.isect.extend_from_slice(&scratch.isect_tmp[lo..hi]);
+            scratch.isect_tmp.truncate(tmp_base);
+        }
+        // Iterate the segment by index: deeper recursion levels append past
+        // `end` and truncate back, leaving `[base, end)` untouched.
+        let end = scratch.isect.len();
+        let mut i = base;
+        while i < end {
+            let v = scratch.isect[i];
+            self.expand_candidate(g, ctx, depth, u, vp, v, scratch, sink);
+            i += 1;
+        }
+        scratch.isect.truncate(base);
     }
 
     /// Expands one explicit frontier candidate `v` for the unbound query

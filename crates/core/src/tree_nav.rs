@@ -106,6 +106,32 @@ pub fn collect_child_candidates(
     buf: &mut Vec<VertexId>,
 ) -> usize {
     let start = buf.len();
+    let e = tree.parent_edge(u).expect("non-root vertex has a parent edge");
+    let qe = q.edge(e);
+    if let (Some(label), AdjacencyMode::Indexed) = (qe.label, mode) {
+        // Fast path: a concrete-label Indexed lookup yields one adjacency
+        // run, which is already sorted and duplicate-free — label-filtering
+        // preserves both, so the sort/dedup pass below is skipped entirely.
+        let (parent_q, child_q, run) = if tree.child_is_target(u) {
+            (qe.src, qe.dst, g.out_neighbors_labeled(pv, label))
+        } else {
+            (qe.dst, qe.src, g.in_neighbors_labeled(pv, label))
+        };
+        if !q.labels(parent_q).is_subset_of(g.labels(pv)) {
+            return start;
+        }
+        let child_labels = q.labels(child_q);
+        if child_labels.is_empty() {
+            run.extend_into(buf);
+        } else {
+            for cv in run {
+                if child_labels.is_subset_of(g.labels(cv)) {
+                    buf.push(cv);
+                }
+            }
+        }
+        return start;
+    }
     for_each_child_candidate(g, q, tree, u, pv, mode, &mut |w| buf.push(w));
     buf[start..].sort_unstable();
     // Dedup the tail segment in place (Vec::dedup would scan the prefix).

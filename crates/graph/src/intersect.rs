@@ -1,0 +1,363 @@
+//! Vectorized intersection kernels for sorted, duplicate-free id runs.
+//!
+//! The enumeration hot paths — DCG candidate expansion, the matcher's
+//! generic-join extension, Graphflow's delta evaluation — all reduce to one
+//! primitive: given two sorted, duplicate-free runs of `u32`-packed vertex
+//! ids (label groups from the adjacency index, explicit DCG frontiers),
+//! emit their intersection in order. Doing that with a per-element
+//! `binary_search` costs `O(n log m)` with a data-dependent branch per
+//! probe; this module provides two purpose-built kernels behind one entry
+//! point, [`intersect_into`]:
+//!
+//! * **Galloping merge** ([`intersect_gallop_into`]) for skewed pairs: each
+//!   element of the smaller run advances through the larger one by
+//!   exponential probing from a monotone cursor, so the total cost is
+//!   `O(n log(m/n))` — asymptotically optimal for `n ≪ m` and strictly
+//!   better than restarting a full binary search per element.
+//! * **Block compare** ([`intersect_linear_into`]) for comparable sizes: a
+//!   4×4 all-pairs SIMD compare (SSE2 `_mm_cmpeq_epi32` against three
+//!   shuffles of the other block, always available on `x86_64`) that
+//!   advances whichever block exhausts first, falling back to a branchless
+//!   scalar merge on other targets and for the tails. With the nightly-only
+//!   `portable_simd` feature the same block kernel is expressed via
+//!   `core::simd` instead of explicit intrinsics.
+//!
+//! The size-ratio cutoff ([`GALLOP_RATIO`]) picks between them. All kernels
+//! produce byte-identical output (the sorted intersection) — a randomized
+//! differential oracle in `tests/intersect_oracle.rs` pins every kernel to
+//! the naive sorted-merge reference.
+//!
+//! Outputs are appended to a caller-owned `Vec`, which the engines use as a
+//! segmented scratch stack: once its high-water capacity is reached,
+//! steady-state intersection allocates nothing (asserted by
+//! `tests/alloc_steady_state.rs`).
+
+use crate::ids::VertexId;
+
+/// Size-ratio cutoff between the galloping and block kernels: when one run
+/// is at least this many times longer than the other, galloping's
+/// `O(n log(m/n))` beats the linear kernel's `O(n + m)`.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Run length at or below which a membership probe scans linearly instead
+/// of binary-searching: on a handful of elements the predictable forward
+/// scan wins against branchy halving (same rationale as the adjacency
+/// index's [`crate::adjacency`] run location).
+pub const LINEAR_PROBE_CUTOFF: usize = 16;
+
+// `&[VertexId] -> &[u32]` casts below rely on the newtype being layout-
+// identical to its payload.
+const _: () = {
+    assert!(std::mem::size_of::<VertexId>() == std::mem::size_of::<u32>());
+    assert!(std::mem::align_of::<VertexId>() == std::mem::align_of::<u32>());
+};
+
+#[inline]
+fn as_u32s(ids: &[VertexId]) -> &[u32] {
+    // SAFETY: `VertexId` is `#[repr(transparent)]` over `u32` (checked by
+    // the const assertion above), so the slices have identical layout.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast::<u32>(), ids.len()) }
+}
+
+/// Appends `a ∩ b` to `out` in ascending order, picking the kernel by size
+/// ratio. Both inputs must be sorted and duplicate-free; the output then is
+/// too.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_gallop_into(small, large, out);
+    } else {
+        intersect_linear_into(small, large, out);
+    }
+}
+
+/// True iff `v` occurs in the sorted run: a linear scan below
+/// [`LINEAR_PROBE_CUTOFF`], binary search above it.
+#[inline]
+pub fn contains_sorted(run: &[VertexId], v: VertexId) -> bool {
+    if run.len() <= LINEAR_PROBE_CUTOFF {
+        run.contains(&v)
+    } else {
+        run.binary_search(&v).is_ok()
+    }
+}
+
+/// Galloping (exponential-probe) intersection: for each element of `small`,
+/// advance a monotone cursor through `large` by doubling steps, then binary
+/// search only the final probe window. Appends matches to `out`.
+///
+/// Exposed (rather than private to [`intersect_into`]) so benches can pit
+/// the kernels against each other at any size ratio.
+pub fn intersect_gallop_into(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut base = 0usize;
+    for &x in small {
+        if base >= large.len() {
+            break;
+        }
+        if large[base] < x {
+            // Gallop: find a window (base+lo, base+hi] with large[hi] >= x.
+            let mut step = 1usize;
+            let mut lo = 0usize;
+            while base + lo + step < large.len() && large[base + lo + step] < x {
+                lo += step;
+                step <<= 1;
+            }
+            let hi = (lo + step + 1).min(large.len() - base);
+            base += lo + 1 + large[base + lo + 1..base + hi].partition_point(|&y| y < x);
+            if base >= large.len() {
+                break;
+            }
+        }
+        if large[base] == x {
+            out.push(x);
+            base += 1;
+        }
+    }
+}
+
+/// Linear (block-compare) intersection for comparable-size runs. Appends
+/// matches to `out`. Dispatches to the SIMD block kernel where one exists;
+/// the portable fallback is a branchless scalar merge.
+pub fn intersect_linear_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    #[cfg(all(feature = "portable_simd", not(miri)))]
+    {
+        portable::intersect_blocks(a, b, out);
+        return;
+    }
+    #[cfg(all(target_arch = "x86_64", not(feature = "portable_simd")))]
+    {
+        // SSE2 is part of the x86_64 baseline: no runtime detection needed.
+        unsafe { sse2::intersect_blocks(a, b, out) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    {
+        scalar_merge_from(a, b, 0, 0, out);
+    }
+}
+
+/// Branchless scalar merge from offsets `(i, j)` onward — the shared tail
+/// loop of the block kernels and the portable whole-input fallback.
+fn scalar_merge_from(
+    a: &[VertexId],
+    b: &[VertexId],
+    mut i: usize,
+    mut j: usize,
+    out: &mut Vec<VertexId>,
+) {
+    let (a, b) = (as_u32s(a), as_u32s(b));
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push(VertexId(x));
+            i += 1;
+            j += 1;
+        } else {
+            // Branchless advance: the comparison results compile to setcc,
+            // so mispredict cost does not scale with input entropy.
+            i += usize::from(x < y);
+            j += usize::from(y < x);
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "portable_simd")))]
+mod sse2 {
+    use super::{as_u32s, scalar_merge_from};
+    use crate::ids::VertexId;
+
+    /// 4×4 all-pairs block intersection with SSE2. Each step loads one
+    /// 4-lane block per side, compares every pair via three lane rotations
+    /// of `b`, emits the matching `a` lanes in order, and advances the
+    /// block whose maximum is smaller (both on a tie). Tails fall through
+    /// to the scalar merge.
+    ///
+    /// # Safety
+    /// Requires SSE2, which is unconditionally part of the `x86_64`
+    /// baseline target features.
+    pub(super) unsafe fn intersect_blocks(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+        use std::arch::x86_64::*;
+        let (au, bu) = (as_u32s(a), as_u32s(b));
+        let (mut i, mut j) = (0usize, 0usize);
+        let (na, nb) = (au.len() & !3, bu.len() & !3);
+        while i < na && j < nb {
+            // SAFETY: i + 4 <= na <= au.len(), j + 4 <= nb <= bu.len(), and
+            // loadu has no alignment requirement.
+            let va = unsafe { _mm_loadu_si128(au.as_ptr().add(i).cast()) };
+            let vb = unsafe { _mm_loadu_si128(bu.as_ptr().add(j).cast()) };
+            // All-pairs equality: compare va against vb rotated by 0..4 lanes.
+            let m0 = _mm_cmpeq_epi32(va, vb);
+            let m1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
+            let m2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
+            let m3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
+            let hit = _mm_or_si128(_mm_or_si128(m0, m1), _mm_or_si128(m2, m3));
+            let mut mask = _mm_movemask_ps(_mm_castsi128_ps(hit)) as u32;
+            // Lanes of `a` are ascending, so emitting by ascending bit
+            // index keeps the output sorted.
+            while mask != 0 {
+                let k = mask.trailing_zeros() as usize;
+                out.push(VertexId(au[i + k]));
+                mask &= mask - 1;
+            }
+            let (amax, bmax) = (au[i + 3], bu[j + 3]);
+            // Runs are duplicate-free, so nothing in the advanced block can
+            // match again in the other's later blocks.
+            i += if amax <= bmax { 4 } else { 0 };
+            j += if bmax <= amax { 4 } else { 0 };
+        }
+        scalar_merge_from(a, b, i, j, out);
+    }
+}
+
+#[cfg(feature = "portable_simd")]
+mod portable {
+    //! `core::simd` rendition of the block kernel (nightly-only feature;
+    //! the stable build uses the SSE2 shims / scalar merge instead).
+    use super::{as_u32s, scalar_merge_from};
+    use crate::ids::VertexId;
+    use core::simd::{cmp::SimdPartialEq, u32x4, Simd};
+
+    pub(super) fn intersect_blocks(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+        let (au, bu) = (as_u32s(a), as_u32s(b));
+        let (mut i, mut j) = (0usize, 0usize);
+        let (na, nb) = (au.len() & !3, bu.len() & !3);
+        while i < na && j < nb {
+            let va: u32x4 = Simd::from_slice(&au[i..i + 4]);
+            let vb: u32x4 = Simd::from_slice(&bu[j..j + 4]);
+            let hit = va.simd_eq(vb)
+                | va.simd_eq(vb.rotate_elements_left::<1>())
+                | va.simd_eq(vb.rotate_elements_left::<2>())
+                | va.simd_eq(vb.rotate_elements_left::<3>());
+            let mut mask = hit.to_bitmask();
+            while mask != 0 {
+                let k = mask.trailing_zeros() as usize;
+                out.push(VertexId(au[i + k]));
+                mask &= mask - 1;
+            }
+            let (amax, bmax) = (au[i + 3], bu[j + 3]);
+            i += if amax <= bmax { 4 } else { 0 };
+            j += if bmax <= amax { 4 } else { 0 };
+        }
+        scalar_merge_from(a, b, i, j, out);
+    }
+}
+
+/// Naive two-pointer sorted-merge reference — the differential-testing
+/// ground truth for every kernel above (and the "pre-kernel path" a
+/// per-element binary search approximates).
+pub fn intersect_reference(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<VertexId> {
+        xs.iter().map(|&x| VertexId(x)).collect()
+    }
+
+    fn run_all(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+        let expect = intersect_reference(a, b);
+        for (name, got) in [
+            ("auto", {
+                let mut o = Vec::new();
+                intersect_into(a, b, &mut o);
+                o
+            }),
+            ("linear", {
+                let mut o = Vec::new();
+                intersect_linear_into(a, b, &mut o);
+                o
+            }),
+            ("gallop_ab", {
+                let mut o = Vec::new();
+                intersect_gallop_into(a, b, &mut o);
+                o
+            }),
+            ("gallop_ba", {
+                let mut o = Vec::new();
+                intersect_gallop_into(b, a, &mut o);
+                o
+            }),
+        ] {
+            assert_eq!(got, expect, "kernel {name} vs reference, a={a:?} b={b:?}");
+        }
+        expect
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(run_all(&[], &[]).is_empty());
+        assert!(run_all(&ids(&[3]), &[]).is_empty());
+        assert!(run_all(&[], &ids(&[3])).is_empty());
+        assert_eq!(run_all(&ids(&[3]), &ids(&[3])), ids(&[3]));
+        assert!(run_all(&ids(&[3]), &ids(&[4])).is_empty());
+    }
+
+    #[test]
+    fn block_boundaries() {
+        // Exactly 4, 5, 7, 8 elements exercise aligned blocks plus tails.
+        let a = ids(&[1, 2, 3, 4, 10, 11, 12, 13]);
+        let b = ids(&[2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(run_all(&a, &b), ids(&[2, 4, 10, 12]));
+        assert_eq!(run_all(&a[..4], &b[..5]), ids(&[2, 4]));
+        assert_eq!(run_all(&a[..7], &b[..7]), ids(&[2, 4, 10, 12]));
+    }
+
+    #[test]
+    fn disjoint_and_nested_ranges() {
+        assert!(run_all(&ids(&[1, 2, 3, 4, 5]), &ids(&[10, 20, 30, 40])).is_empty());
+        // One run entirely inside a gap of the other.
+        assert!(run_all(&ids(&[100, 200, 300, 400]), &ids(&[150, 151, 152, 153])).is_empty());
+        // Subset relation.
+        let big = ids(&(0..64).map(|i| i * 3).collect::<Vec<_>>());
+        let sub = ids(&[0, 9, 33, 90, 189]);
+        assert_eq!(run_all(&sub, &big), sub);
+    }
+
+    #[test]
+    fn adversarial_size_ratio_uses_gallop() {
+        let large: Vec<VertexId> = (0..10_000u32).map(|i| VertexId(i * 2)).collect();
+        let small = ids(&[0, 2, 5, 19_998, 20_000, 99_999]);
+        let expect = intersect_reference(&small, &large);
+        let mut got = Vec::new();
+        intersect_into(&small, &large, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(expect, ids(&[0, 2, 19_998]));
+    }
+
+    #[test]
+    fn contains_sorted_both_regimes() {
+        let short = ids(&[2, 4, 6]);
+        assert!(contains_sorted(&short, VertexId(4)));
+        assert!(!contains_sorted(&short, VertexId(5)));
+        let long: Vec<VertexId> = (0..100u32).map(|i| VertexId(i * 3)).collect();
+        assert!(contains_sorted(&long, VertexId(99)));
+        assert!(!contains_sorted(&long, VertexId(100)));
+        assert!(!contains_sorted(&[], VertexId(0)));
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let mut out = ids(&[77]);
+        intersect_into(&ids(&[1, 2, 3]), &ids(&[2, 3, 4]), &mut out);
+        assert_eq!(out, ids(&[77, 2, 3]), "kernels append; callers own the prefix");
+    }
+}

@@ -13,21 +13,29 @@
 //!   directions ([`adjacency`]): O(log) insert/delete within a label group
 //!   and O(log + |group|) label-qualified neighbor enumeration,
 //! * [`UpdateOp`] / [`UpdateStream`] — the graph update stream,
+//! * [`intersect`] — galloping / SIMD-block intersection kernels over
+//!   sorted `u32`-packed id runs, the primitive behind candidate
+//!   enumeration in every engine,
 //! * [`stats::GraphStats`] — cardinality statistics used to pick the starting
 //!   query vertex and the query spanning tree, sourced from the index.
+
+#![cfg_attr(feature = "portable_simd", feature(portable_simd))]
 
 pub mod adjacency;
 pub mod dynamic_graph;
 pub mod ids;
+pub mod intersect;
 pub mod labels;
 pub mod stats;
 pub mod stream;
 
 pub use adjacency::{
-    AdjacencyMode, LabeledNeighbors, MatchingNeighbors, Neighbors, PROMOTE_DEGREE,
+    AdjacencyMode, LabeledNeighbors, MatchingNeighbors, Neighbors, DIVERSE_LABELS, PROMOTE_DEGREE,
+    PROMOTE_DEGREE_SKEWED, PROMOTE_HYSTERESIS,
 };
 pub use dynamic_graph::{DynamicGraph, EdgeRef};
 pub use ids::{LabelId, VertexId};
+pub use intersect::{contains_sorted, intersect_into, GALLOP_RATIO};
 pub use labels::{LabelInterner, LabelSet};
 pub use stats::GraphStats;
 pub use stream::{UpdateOp, UpdateStream};

@@ -1,10 +1,10 @@
 //! Backtracking enumeration of homomorphisms / isomorphisms.
 
 use rustc_hash::FxHashSet;
-use tfx_graph::{AdjacencyMode, DynamicGraph, VertexId};
+use tfx_graph::{intersect_into, AdjacencyMode, DynamicGraph, LabeledNeighbors, VertexId};
 use tfx_query::{MatchRecord, MatchSemantics, QVertexId, QueryGraph};
 
-use crate::candidates::{candidate_vertices, vertex_matches};
+use crate::candidates::NeighborhoodFilter;
 use crate::order::matching_order;
 
 /// Result summary of an enumeration run.
@@ -16,14 +16,59 @@ pub struct Enumeration {
     pub completed: bool,
 }
 
+/// How candidates for the next query vertex are produced once at least one
+/// of its neighbors is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtendStrategy {
+    /// Scan the single cheapest bound neighbor's adjacency list and let
+    /// `joinable` reject candidates edge by edge (hash-probe per edge).
+    PivotScan,
+    /// Intersect *all* bound neighbors' sorted adjacency runs through the
+    /// vectorized kernels ([`tfx_graph::intersect_into`]); `joinable` then
+    /// only has to verify self-loops and wildcard-collapsed duplicates.
+    #[default]
+    Intersect,
+}
+
 struct Search<'a> {
     g: &'a DynamicGraph,
     q: &'a QueryGraph,
     semantics: MatchSemantics,
+    strategy: ExtendStrategy,
     order: Vec<QVertexId>,
+    /// One precomputed neighborhood filter per query vertex (indexed by
+    /// `u.index()`), so per-candidate checks don't rebuild label lists.
+    filters: Vec<NeighborhoodFilter>,
     mapping: Vec<Option<VertexId>>,
     used: FxHashSet<VertexId>,
     found: u64,
+}
+
+/// A candidate source list: either a zero-copy borrow of a promoted
+/// adjacency run or a materialized (sorted, duplicate-free) buffer.
+enum SrcList<'g> {
+    Borrowed(&'g [VertexId]),
+    Owned(Vec<VertexId>),
+}
+
+impl SrcList<'_> {
+    fn as_slice(&self) -> &[VertexId] {
+        match self {
+            SrcList::Borrowed(s) => s,
+            SrcList::Owned(v) => v,
+        }
+    }
+}
+
+fn push_run<'g>(sources: &mut Vec<SrcList<'g>>, run: LabeledNeighbors<'g>) {
+    match run.as_id_slice() {
+        Some(ids) => sources.push(SrcList::Borrowed(ids)),
+        None => {
+            let mut buf = Vec::with_capacity(run.len());
+            run.extend_into(&mut buf);
+            sources.push(SrcList::Owned(buf));
+        }
+    }
 }
 
 impl<'a> Search<'a> {
@@ -109,6 +154,70 @@ impl<'a> Search<'a> {
         out
     }
 
+    /// Candidates for `u` as the intersection of *every* bound neighbor's
+    /// relevant adjacency run, folded smallest-first through the graph
+    /// crate's merge/gallop kernels.
+    ///
+    /// Equivalent to [`Search::candidates_from_pivot`] filtered by
+    /// `joinable`: membership in the run of `m(w)` for edge `(u, w)` is
+    /// exactly the `has_edge_matching` probe `joinable` applies for that
+    /// edge, so the intersection drops only candidates `joinable` would
+    /// reject — and the result stays sorted, so enumeration order is
+    /// deterministic without a sort+dedup pass.
+    fn candidates_intersect(&self, u: QVertexId) -> Vec<VertexId> {
+        let mut sources: Vec<SrcList<'a>> = Vec::new();
+        for &(w, e) in self.q.in_adj(u) {
+            if w == u {
+                continue; // self-loops are joinable's job
+            }
+            let Some(mw) = self.mapping[w.index()] else { continue };
+            // edge w -> u: candidates live among out-neighbors of m(w)
+            match self.q.edge(e).label {
+                Some(l) => push_run(&mut sources, self.g.out_neighbors_labeled(mw, l)),
+                None => {
+                    let mut buf: Vec<VertexId> =
+                        self.g.out_neighbors_matching(mw, None, AdjacencyMode::Indexed).collect();
+                    buf.sort_unstable();
+                    buf.dedup();
+                    sources.push(SrcList::Owned(buf));
+                }
+            }
+        }
+        for &(w, e) in self.q.out_adj(u) {
+            if w == u {
+                continue;
+            }
+            let Some(mw) = self.mapping[w.index()] else { continue };
+            // edge u -> w: candidates live among in-neighbors of m(w)
+            match self.q.edge(e).label {
+                Some(l) => push_run(&mut sources, self.g.in_neighbors_labeled(mw, l)),
+                None => {
+                    let mut buf: Vec<VertexId> =
+                        self.g.in_neighbors_matching(mw, None, AdjacencyMode::Indexed).collect();
+                    buf.sort_unstable();
+                    buf.dedup();
+                    sources.push(SrcList::Owned(buf));
+                }
+            }
+        }
+        // Smallest-first keeps every intermediate no larger than the
+        // smallest source and lets the gallop kernel exploit size skew.
+        sources.sort_by_key(|s| s.as_slice().len());
+        let mut iter = sources.iter();
+        let first = iter.next().expect("connected matching order guarantees a mapped neighbor");
+        let mut cur: Vec<VertexId> = first.as_slice().to_vec();
+        let mut tmp: Vec<VertexId> = Vec::new();
+        for s in iter {
+            if cur.is_empty() {
+                break;
+            }
+            tmp.clear();
+            intersect_into(&cur, s.as_slice(), &mut tmp);
+            std::mem::swap(&mut cur, &mut tmp);
+        }
+        cur
+    }
+
     fn recurse(&mut self, depth: usize, sink: &mut dyn FnMut(&MatchRecord) -> bool) -> bool {
         if depth == self.order.len() {
             self.found += 1;
@@ -117,15 +226,19 @@ impl<'a> Search<'a> {
         }
         let u = self.order[depth];
         let cands = if depth == 0 {
-            candidate_vertices(self.g, self.q, u)
+            let filter = &self.filters[u.index()];
+            self.g.vertices().filter(|&v| filter.matches(self.g, v)).collect()
         } else {
-            self.candidates_from_pivot(u)
+            match self.strategy {
+                ExtendStrategy::PivotScan => self.candidates_from_pivot(u),
+                ExtendStrategy::Intersect => self.candidates_intersect(u),
+            }
         };
         for v in cands {
             if self.semantics == MatchSemantics::Isomorphism && self.used.contains(&v) {
                 continue;
             }
-            if !vertex_matches(self.g, self.q, u, v) {
+            if !self.filters[u.index()].matches(self.g, v) {
                 continue;
             }
             if !self.joinable(u, v) {
@@ -150,18 +263,36 @@ impl<'a> Search<'a> {
 
 /// Enumerates every match of `q` in `g` under `semantics`, streaming each
 /// into `sink`. The sink returns `false` to abort the search early.
+///
+/// Uses the default [`ExtendStrategy::Intersect`]; see
+/// [`enumerate_matches_with`] to pick the extension strategy explicitly
+/// (benchmark ablations, mostly).
 pub fn enumerate_matches(
     g: &DynamicGraph,
     q: &QueryGraph,
     semantics: MatchSemantics,
     sink: &mut dyn FnMut(&MatchRecord) -> bool,
 ) -> Enumeration {
+    enumerate_matches_with(g, q, semantics, ExtendStrategy::default(), sink)
+}
+
+/// [`enumerate_matches`] with an explicit candidate-extension strategy.
+pub fn enumerate_matches_with(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    semantics: MatchSemantics,
+    strategy: ExtendStrategy,
+    sink: &mut dyn FnMut(&MatchRecord) -> bool,
+) -> Enumeration {
     let order = matching_order(g, q);
+    let filters = q.vertices().map(|u| NeighborhoodFilter::new(q, u)).collect();
     let mut search = Search {
         g,
         q,
         semantics,
+        strategy,
         order,
+        filters,
         mapping: vec![None; q.vertex_count()],
         used: FxHashSet::default(),
         found: 0,
@@ -308,6 +439,83 @@ mod tests {
         q.add_edge(u0, u1, None);
         // every data edge matches: 3
         assert_eq!(count_matches(&g, &q, MatchSemantics::Homomorphism), 3);
+    }
+
+    /// Both extension strategies must enumerate the same match set — the
+    /// intersection path only pre-applies checks `joinable` would make.
+    #[test]
+    fn strategies_agree_on_random_graph() {
+        let mut state = 0x9e37_79b9_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut g = DynamicGraph::new();
+        let n = 40u64;
+        for i in 0..n {
+            g.add_vertex(LabelSet::single(l((i % 3) as u32)));
+        }
+        for _ in 0..300 {
+            let s = VertexId((rng() % n) as u32);
+            let d = VertexId((rng() % n) as u32);
+            let lab = l((rng() % 3) as u32);
+            if !g.has_edge(s, lab, d) {
+                g.insert_edge(s, lab, d);
+            }
+        }
+
+        // Labeled triangle, wildcard path, and a diamond with a repeated
+        // label exercise concrete runs, wildcard lists, and dedup.
+        let mut queries = Vec::new();
+        {
+            let mut q = QueryGraph::new();
+            let a = q.add_vertex(LabelSet::single(l(0)));
+            let b = q.add_vertex(LabelSet::single(l(1)));
+            let c = q.add_vertex(LabelSet::empty());
+            q.add_edge(a, b, Some(l(0)));
+            q.add_edge(b, c, Some(l(1)));
+            q.add_edge(c, a, Some(l(2)));
+            queries.push(q);
+        }
+        {
+            let mut q = QueryGraph::new();
+            let a = q.add_vertex(LabelSet::empty());
+            let b = q.add_vertex(LabelSet::empty());
+            let c = q.add_vertex(LabelSet::empty());
+            q.add_edge(a, b, None);
+            q.add_edge(b, c, None);
+            queries.push(q);
+        }
+        {
+            let mut q = QueryGraph::new();
+            let a = q.add_vertex(LabelSet::empty());
+            let b = q.add_vertex(LabelSet::single(l(1)));
+            let c = q.add_vertex(LabelSet::single(l(2)));
+            let d = q.add_vertex(LabelSet::empty());
+            q.add_edge(a, b, Some(l(0)));
+            q.add_edge(a, c, Some(l(0)));
+            q.add_edge(b, d, None);
+            q.add_edge(c, d, Some(l(1)));
+            queries.push(q);
+        }
+
+        for q in &queries {
+            for sem in [MatchSemantics::Homomorphism, MatchSemantics::Isomorphism] {
+                let mut pivot = FxHashSet::default();
+                enumerate_matches_with(&g, q, sem, ExtendStrategy::PivotScan, &mut |m| {
+                    pivot.insert(m.clone());
+                    true
+                });
+                let mut isect = FxHashSet::default();
+                enumerate_matches_with(&g, q, sem, ExtendStrategy::Intersect, &mut |m| {
+                    assert!(isect.insert(m.clone()), "intersect path produced a duplicate");
+                    true
+                });
+                assert_eq!(pivot, isect, "strategies disagree ({sem:?})");
+            }
+        }
     }
 
     #[test]

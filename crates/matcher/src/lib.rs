@@ -18,6 +18,9 @@ pub mod backtrack;
 pub mod candidates;
 pub mod order;
 
-pub use backtrack::{count_matches, enumerate_matches, match_set, Enumeration};
-pub use candidates::candidate_vertices;
+pub use backtrack::{
+    count_matches, enumerate_matches, enumerate_matches_with, match_set, Enumeration,
+    ExtendStrategy,
+};
+pub use candidates::{candidate_vertices, NeighborhoodFilter};
 pub use order::matching_order;

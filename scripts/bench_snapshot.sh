@@ -29,6 +29,7 @@ cargo bench --offline -p tfx-bench --bench adjacency_scan
 cargo bench --offline -p tfx-bench --bench dcg_ops
 cargo bench --offline -p tfx-bench --bench explosive_update
 cargo bench --offline -p tfx-bench --bench window_churn
+cargo bench --offline -p tfx-bench --bench motif
 
 mv "$tmp" "$out"
 trap - EXIT

@@ -43,6 +43,12 @@ echo "=== window_churn (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench window_churn
 
+echo "=== motif (quick) ==="
+# Asserts PivotScan and Intersect count the same motifs before timing, and
+# exercises the merge/gallop/SIMD intersection kernels under release.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench motif
+
 echo "=== tfx stream smoke ==="
 # The CLI subcommand end to end against the checked-in testdata: a count-3
 # window over the demo stream must evict exactly one edge and report the

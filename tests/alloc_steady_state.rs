@@ -3,13 +3,16 @@
 //! high-water capacity, repeating the same insert/delete cycles must hit
 //! the global allocator zero times.
 //!
-//! This file contains a single test because the counting `#[global_allocator]`
-//! is process-wide: a concurrent test allocating on another thread would
-//! pollute the count.
+//! Runs without the libtest harness (`harness = false` in Cargo.toml): the
+//! counting `#[global_allocator]` is process-wide, and the harness's main
+//! thread lazily initializes channel thread-locals while it waits on the
+//! test thread — inside the armed window, at a racy point in time. With no
+//! harness the process stays single-threaded and the count is exact.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use turboflux::core::INTERSECT_MIN_FRONTIER;
 use turboflux::prelude::*;
 
 struct CountingAlloc;
@@ -48,19 +51,36 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// A 3-vertex query (path with a back non-tree edge once closed by data)
-/// over a small dense-ish graph, driven through repeated insert/delete
-/// cycles that produce real positive and negative matches every cycle.
-#[test]
-fn steady_state_updates_do_not_allocate() {
+/// A 3-vertex query (path with a back non-tree edge) over a graph with one
+/// wide hub frontier, driven through repeated insert/delete cycles that
+/// produce real positive and negative matches every cycle — through both
+/// the plain enumeration path and the intersection-prefilter path
+/// (`search.rs`), whose scratch segments must likewise reach a high-water
+/// capacity and stop allocating.
+fn main() {
     let mut g = DynamicGraph::new();
-    for i in 0..8u32 {
+    for i in 0..20u32 {
         g.add_vertex(LabelSet::single(LabelId(i % 2)));
     }
     // Static backbone so the DCG has standing partial results.
     for i in 0..8u32 {
         g.insert_edge(VertexId(i), LabelId(10), VertexId((i + 1) % 8));
     }
+    // Hub: v1 fans out to enough even vertices that the explicit DCG
+    // frontier of (v1, u2) crosses INTERSECT_MIN_FRONTIER, steering the
+    // enumeration of u2 through the intersection prefilter whenever m(u1)=1.
+    for i in 0..(INTERSECT_MIN_FRONTIER as u32 + 1) {
+        let dst = VertexId(i * 2);
+        if !g.has_edge(VertexId(1), LabelId(10), dst) {
+            g.insert_edge(VertexId(1), LabelId(10), dst);
+        }
+    }
+    // Standing non-tree support: the prefilter intersects the frontier with
+    // out-l11 runs of the bound u0 image (v0 and the hub parent v4).
+    g.insert_edge(VertexId(0), LabelId(11), VertexId(4));
+    g.insert_edge(VertexId(0), LabelId(11), VertexId(6));
+    g.insert_edge(VertexId(4), LabelId(11), VertexId(0));
+    g.insert_edge(VertexId(4), LabelId(11), VertexId(2));
 
     let mut q = QueryGraph::new();
     let u0 = q.add_vertex(LabelSet::single(LabelId(0)));
@@ -76,13 +96,17 @@ fn steady_state_updates_do_not_allocate() {
     // tree-matching edge, then fan v0's u1-run past the DCG's inline
     // capacity (the run promotes into a pool slot and demotes back when
     // the edges go away — slot reuse must come from the free list, not the
-    // allocator), then delete everything (negative matches).
+    // allocator), toggle a tree edge into the hub v1 so u2 is enumerated
+    // over the wide frontier (intersection prefilter), then delete
+    // everything (negative matches).
     let cycle = [
         UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(11), dst: VertexId(2) },
         UpdateOp::InsertEdge { src: VertexId(2), label: LabelId(10), dst: VertexId(5) },
         UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(3) },
         UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(5) },
         UpdateOp::InsertEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(7) },
+        UpdateOp::InsertEdge { src: VertexId(4), label: LabelId(10), dst: VertexId(1) },
+        UpdateOp::DeleteEdge { src: VertexId(4), label: LabelId(10), dst: VertexId(1) },
         UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(7) },
         UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(5) },
         UpdateOp::DeleteEdge { src: VertexId(0), label: LabelId(10), dst: VertexId(3) },
@@ -91,6 +115,19 @@ fn steady_state_updates_do_not_allocate() {
     ];
 
     let mut matches = 0usize;
+    let mut hub_matches = 0usize;
+    {
+        // The hub tree-edge toggle must produce matches of its own — that
+        // insertion enumerates u2 over the ≥ INTERSECT_MIN_FRONTIER
+        // explicit frontier of v1, i.e. through the prefilter. (4, l11, 0)
+        // and (4, l11, 2) close the triangle for m(u0)=4.
+        let op = UpdateOp::InsertEdge { src: VertexId(4), label: LabelId(10), dst: VertexId(1) };
+        engine.apply(&op, &mut |_, _| hub_matches += 1);
+        assert!(hub_matches > 0, "hub toggle must route matches through the wide frontier");
+        let undo = UpdateOp::DeleteEdge { src: VertexId(4), label: LabelId(10), dst: VertexId(1) };
+        engine.apply(&undo, &mut |_, _| {});
+    }
+
     let run_cycles = |engine: &mut TurboFlux, n: usize, matches: &mut usize| {
         for _ in 0..n {
             for op in &cycle {
@@ -114,4 +151,5 @@ fn steady_state_updates_do_not_allocate() {
     ARMED.store(false, Ordering::SeqCst);
 
     assert_eq!(during, 0, "steady-state insert/delete cycles must not allocate");
+    println!("test steady_state_updates_do_not_allocate ... ok");
 }
