@@ -1,24 +1,31 @@
-//! Fleet benchmark: N registered queries × batch size, parallel
-//! `apply_batch` vs the single-threaded `apply_batch_sequential` baseline,
-//! on the LSBench-like insert stream.
+//! Fleet benchmarks: multi-query registration × streaming batches.
 //!
-//! The interesting axes:
+//! Three families:
 //!
-//! * query count (1 / 4 / 16) — parallelism is across engines, so one query
-//!   cannot speed up and sixteen should approach the core count,
-//! * batch size (1 / 64 / 1024) — batches amortize thread-scope setup; a
-//!   batch of 1 measures the worst-case round-trip overhead.
-//!
-//! On a single-core host the parallel path cannot win (the per-op barrier
-//! rounds just add overhead); run this on a multi-core machine to see the
-//! fan-out effect. `scripts/bench_snapshot.sh` records the host's core
-//! count next to the numbers.
+//! * `fleet_throughput/q{N}` — N random queries × batch size, parallel
+//!   `apply_batch` vs the single-threaded `apply_batch_sequential`
+//!   baseline, on the LSBench-like insert stream. Parallelism is across
+//!   engines, so one query cannot speed up and sixteen should approach the
+//!   core count; batch size (1 / 64 / 1024) amortizes thread-scope setup.
+//!   On a single-core host the parallel path cannot win (the per-op
+//!   barrier rounds just add overhead); `scripts/bench_snapshot.sh`
+//!   records the host's core count next to the numbers.
+//! * `fleet_shared/overlap_q{N}` — N copies of one deep path query over a
+//!   two-level star graph with wide mid-level adjacency: every insert
+//!   forces each engine to collect grandchild candidates, so the shared
+//!   candidate-prefix index (`shared`) replaces N O(degree) adjacency
+//!   scans per op with one index lookup each. `naive` is the
+//!   `fleet_shared_index = false` ablation. Sweeps q ∈ {1, 4, 16, 64}.
+//! * `fleet_routing/disjoint` — N queries with pairwise-disjoint edge
+//!   labels while the stream only touches one label: the routing table
+//!   dispatches each op to a single engine, so throughput should stay
+//!   near-flat in N instead of degrading linearly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tfx_core::{Fleet, TurboFlux, TurboFluxConfig};
 use tfx_datagen::{lsbench, queries, LsBenchConfig, Pcg32};
-use tfx_graph::UpdateOp;
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, UpdateOp, VertexId};
 use tfx_query::{ContinuousMatcher, QueryGraph};
 
 const STREAM_OPS: usize = 1024;
@@ -90,5 +97,165 @@ fn fleet_throughput(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fleet_throughput);
+/// Vertex labels of the star workload: root / mid / target / junk.
+const L_ROOT: LabelId = LabelId(0);
+const L_MID: LabelId = LabelId(1);
+const L_TARGET: LabelId = LabelId(2);
+const L_JUNK: LabelId = LabelId(3);
+/// The single edge label every star edge carries, so label filtering alone
+/// cannot prune the mid-level adjacency scan.
+const L_EDGE: LabelId = LabelId(10);
+
+const STAR_MIDS: usize = 8;
+const STAR_TARGETS: usize = 4;
+const STAR_JUNK: usize = 4096;
+const STAR_OPS: usize = 256;
+
+/// Two-level star: one root-labeled vertex, `STAR_MIDS` mids each with
+/// `STAR_TARGETS + STAR_JUNK` out-edges (only the target-labeled few are
+/// query-relevant), and a churn stream that deletes/re-inserts root→mid
+/// edges. The path query root→mid→target makes every insert rebuild a
+/// mid's DCG subtree, which collects target candidates from the wide
+/// adjacency — the cost the shared index amortizes across engines.
+fn star_setup() -> (DynamicGraph, QueryGraph, Vec<UpdateOp>) {
+    let mut g = DynamicGraph::new();
+    let root = g.add_vertex(LabelSet::single(L_ROOT));
+    let mids: Vec<VertexId> =
+        (0..STAR_MIDS).map(|_| g.add_vertex(LabelSet::single(L_MID))).collect();
+    let targets: Vec<VertexId> =
+        (0..STAR_TARGETS).map(|_| g.add_vertex(LabelSet::single(L_TARGET))).collect();
+    let junk: Vec<VertexId> =
+        (0..STAR_JUNK).map(|_| g.add_vertex(LabelSet::single(L_JUNK))).collect();
+    for &m in &mids {
+        for &t in &targets {
+            g.insert_edge(m, L_EDGE, t);
+        }
+        for &j in &junk {
+            g.insert_edge(m, L_EDGE, j);
+        }
+    }
+    // A few root→mid edges up front keep the root-side query edge the rarest
+    // (so the start-vertex heuristic roots the tree at the star's root).
+    let churn = &mids[..STAR_MIDS / 2];
+    for &m in churn {
+        g.insert_edge(root, L_EDGE, m);
+    }
+
+    let mut q = QueryGraph::new();
+    let a = q.add_vertex(LabelSet::single(L_ROOT));
+    let b = q.add_vertex(LabelSet::single(L_MID));
+    let c = q.add_vertex(LabelSet::single(L_TARGET));
+    q.add_edge(a, b, Some(L_EDGE));
+    q.add_edge(b, c, Some(L_EDGE));
+
+    // Delete/insert pairs restore graph and DCG state every full replay, so
+    // a fleet can be registered once and measured in steady state.
+    let mut ops = Vec::with_capacity(STAR_OPS);
+    for i in 0..STAR_OPS / 2 {
+        let m = churn[i % churn.len()];
+        ops.push(UpdateOp::DeleteEdge { src: root, label: L_EDGE, dst: m });
+        ops.push(UpdateOp::InsertEdge { src: root, label: L_EDGE, dst: m });
+    }
+    (g, q, ops)
+}
+
+fn star_fleet(
+    g0: &DynamicGraph,
+    q: &QueryGraph,
+    nq: usize,
+    shared: bool,
+) -> (Fleet, TurboFluxConfig) {
+    let cfg = TurboFluxConfig { fleet_shared_index: shared, ..TurboFluxConfig::default() };
+    let mut fleet = Fleet::with_threads(g0.clone(), 1);
+    for _ in 0..nq {
+        fleet.register(q.clone(), cfg);
+    }
+    (fleet, cfg)
+}
+
+fn replay(fleet: &mut Fleet, ops: &[UpdateOp]) -> u64 {
+    let mut n = 0u64;
+    fleet.apply_batch_sequential(ops, &mut |_| n += 1);
+    n
+}
+
+/// Shared candidate-prefix index vs per-engine candidate scans, on the
+/// overlapping-labels star workload.
+fn fleet_shared_overlap(c: &mut Criterion) {
+    let (g0, q, ops) = star_setup();
+
+    // Sanity: the workload must actually exercise the shared path (hits)
+    // and both modes must emit the same delta sequence length.
+    {
+        let (mut on, _) = star_fleet(&g0, &q, 2, true);
+        let (mut off, _) = star_fleet(&g0, &q, 2, false);
+        let n_on = replay(&mut on, &ops);
+        let n_off = replay(&mut off, &ops);
+        assert_eq!(n_on, n_off, "shared/naive fleets disagree on delta count");
+        assert!(n_on > 0, "star workload produced no deltas");
+        let stats = on.stats();
+        assert!(stats.shared_hits > 0, "star workload never hit the shared index");
+        assert_eq!(off.stats().shared_hits, 0, "ablation consulted the index");
+    }
+
+    for &nq in &[1usize, 4, 16, 64] {
+        let mut group = c.benchmark_group(format!("fleet_shared/overlap_q{nq}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(ops.len() as u64));
+        for (id, shared) in [("shared", true), ("naive", false)] {
+            let (mut fleet, _) = star_fleet(&g0, &q, nq, shared);
+            group.bench_function(id, |b| b.iter(|| black_box(replay(&mut fleet, &ops))));
+        }
+        group.finish();
+    }
+}
+
+/// Label-disjoint fleets: engine i matches only edge label `100 + i`, the
+/// stream only carries label 100. With op routing, every op reaches exactly
+/// one engine regardless of fleet size.
+fn fleet_routing_disjoint(c: &mut Criterion) {
+    let mut g0 = DynamicGraph::new();
+    let nv = 16usize;
+    for i in 0..nv {
+        g0.add_vertex(LabelSet::single(LabelId(i as u32 % 2)));
+    }
+    let mut ops = Vec::with_capacity(STAR_OPS);
+    for i in 0..STAR_OPS / 2 {
+        let src = VertexId((2 * i % nv) as u32);
+        let dst = VertexId(((2 * i + 1) % nv) as u32);
+        ops.push(UpdateOp::InsertEdge { src, label: LabelId(100), dst });
+        ops.push(UpdateOp::DeleteEdge { src, label: LabelId(100), dst });
+    }
+    let query_for = |i: usize| {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::single(LabelId(0)));
+        let b = q.add_vertex(LabelSet::single(LabelId(1)));
+        q.add_edge(a, b, Some(LabelId(100 + i as u32)));
+        q
+    };
+
+    // Sanity: with ≥2 disjoint engines the routing table must skip.
+    {
+        let mut fleet = Fleet::with_threads(g0.clone(), 1);
+        for i in 0..2 {
+            fleet.register(query_for(i), TurboFluxConfig::default());
+        }
+        replay(&mut fleet, &ops);
+        assert!(fleet.stats().ops_skipped > 0, "disjoint fleet never skipped an engine");
+    }
+
+    let mut group = c.benchmark_group("fleet_routing/disjoint");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    for &nq in &[1usize, 4, 16, 64] {
+        let mut fleet = Fleet::with_threads(g0.clone(), 1);
+        for i in 0..nq {
+            fleet.register(query_for(i), TurboFluxConfig::default());
+        }
+        group.bench_function(format!("q{nq}"), |b| b.iter(|| black_box(replay(&mut fleet, &ops))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput, fleet_shared_overlap, fleet_routing_disjoint);
 criterion_main!(benches);

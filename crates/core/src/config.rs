@@ -44,6 +44,14 @@ pub struct TurboFluxConfig {
     /// frontiers run sequentially so small updates never pay thread-spawn
     /// cost (and stay allocation-free).
     pub parallel_min_frontier: usize,
+    /// When the engine runs inside a [`crate::fleet::Fleet`], source child
+    /// candidates for shareable execution-tree edges from the fleet's
+    /// [`crate::shared_index::SharedCandidateIndex`] (maintained once per
+    /// update for all queries) instead of re-filtering adjacency scans per
+    /// engine. Candidates, order, and deltas are identical either way —
+    /// this is the multi-query-optimization ablation switch. Ignored by
+    /// standalone engines.
+    pub fleet_shared_index: bool,
 }
 
 impl Default for TurboFluxConfig {
@@ -57,6 +65,7 @@ impl Default for TurboFluxConfig {
             label_indexed_adjacency: true,
             parallel_workers: 0,
             parallel_min_frontier: 64,
+            fleet_shared_index: true,
         }
     }
 }
@@ -91,6 +100,7 @@ mod tests {
         assert!(c.label_indexed_adjacency);
         assert_eq!(c.parallel_workers, 0, "auto-sized by default");
         assert!(c.parallel_min_frontier > 1, "small updates stay sequential");
+        assert!(c.fleet_shared_index, "shared candidate index on by default");
         assert_eq!(c.adjacency_mode(), AdjacencyMode::Indexed);
         let flat = TurboFluxConfig { label_indexed_adjacency: false, ..c };
         assert_eq!(flat.adjacency_mode(), AdjacencyMode::FlatScan);

@@ -33,7 +33,8 @@ use crate::dcg::{Dcg, EdgeState};
 use crate::order::OrderMaintenance;
 use crate::parallel::ScratchPool;
 use crate::scratch::SearchScratch;
-use crate::tree_nav::collect_child_candidates;
+use crate::shared_index::{SharedCandidateIndex, SigKey};
+use crate::tree_nav::{collect_child_candidates, collect_shared_child_candidates};
 
 /// How many search steps between wall-clock deadline checks (power of two:
 /// the shared step counter is masked, not reset, so concurrent search
@@ -63,6 +64,16 @@ pub struct TurboFlux {
     pub(crate) qedge_by_label: FxHashMap<LabelId, Vec<EdgeId>>,
     /// Query edges with no label constraint (match any data label).
     pub(crate) qedge_wildcard: Vec<EdgeId>,
+    /// Per query vertex: the fleet-shared candidate signature bound to its
+    /// tree edge, if the owning [`crate::fleet::Fleet`] shares it (root and
+    /// wildcard-labeled edges are never shareable). Empty-slotted (`None`)
+    /// for standalone engines and flag-off fleet engines.
+    pub(crate) shared_sigs: Vec<Option<u32>>,
+    /// Candidate collections served from the shared index.
+    pub(crate) shared_hits: u64,
+    /// Candidate collections that fell back to a private scan while a
+    /// shared index was available (unshareable tree edge).
+    pub(crate) shared_misses: u64,
     /// Drift detection for `AdjustMatchingOrder`.
     pub(crate) order_maint: OrderMaintenance,
     /// Reusable buffers for the per-update hot path (embedding, candidate
@@ -149,6 +160,9 @@ impl TurboFlux {
             non_tree_incident,
             qedge_by_label,
             qedge_wildcard,
+            shared_sigs: vec![None; nq],
+            shared_hits: 0,
+            shared_misses: 0,
             order_maint: OrderMaintenance::default(),
             scratch: SearchScratch::for_query(nq, track_bound),
             pool: ScratchPool::default(),
@@ -167,7 +181,7 @@ impl TurboFlux {
         let mut scratch = std::mem::take(&mut engine.scratch);
         for v in g0.vertices() {
             if engine.q.labels(us).is_subset_of(g0.labels(v)) {
-                engine.build_dcg(g0, None, us, v, &mut scratch);
+                engine.build_dcg(g0, None, None, us, v, &mut scratch);
             }
         }
         engine.scratch = scratch;
@@ -211,6 +225,13 @@ impl TurboFlux {
         // i.e. the clock is consulted immediately after (re)arming.
         self.deadline_tick.store(0, Ordering::Relaxed);
         self.deadline_hit.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether this engine opts into reading the fleet's shared candidate
+    /// index ([`TurboFluxConfig::fleet_shared_index`]).
+    #[inline]
+    pub(crate) fn uses_shared_index(&self) -> bool {
+        self.cfg.fleet_shared_index
     }
 
     /// Caps intra-update parallelism regardless of the configured
@@ -262,11 +283,31 @@ impl TurboFlux {
         self.dcg.expl_out_bits(v) & mask == mask
     }
 
+    /// The shared-candidate signature of `u`'s tree edge, if that edge is
+    /// shareable across queries: a concrete edge label plus `u`'s label set
+    /// and the edge's orientation pin down the exact candidate filter (the
+    /// parent-side label check stays per-query at read time). Root vertices
+    /// (no tree edge) and wildcard-labeled edges are not shareable.
+    pub(crate) fn shared_sig_key(&self, u: QVertexId) -> Option<SigKey> {
+        let e = self.tree.parent_edge(u)?;
+        let label = self.q.edge(e).label?;
+        Some(SigKey {
+            label,
+            child_labels: self.q.labels(u).clone(),
+            out: self.tree.child_is_target(u),
+        })
+    }
+
     /// `BuildDCG` (Algorithm 3): depth-first construction of the DCG below
     /// the edge `(parent, u, cv)`, applying Transitions 1 and 2.
+    ///
+    /// With `shared` set (fleet mode), child candidates of tree edges bound
+    /// to a shared signature are read from the fleet index instead of
+    /// scanned privately — identical candidates in identical order.
     pub(crate) fn build_dcg(
         &mut self,
         g: &DynamicGraph,
+        shared: Option<&SharedCandidateIndex>,
         parent: Option<VertexId>,
         u: QVertexId,
         cv: VertexId,
@@ -281,21 +322,41 @@ impl TurboFlux {
             let mode = self.cfg.adjacency_mode();
             for ci in 0..self.tree.children(u).len() {
                 let uc = self.tree.children(u)[ci];
-                let start = collect_child_candidates(
-                    g,
-                    &self.q,
-                    &self.tree,
-                    uc,
-                    cv,
-                    mode,
-                    &mut scratch.kids,
-                );
+                let start = match (shared, self.shared_sigs[uc.index()]) {
+                    (Some(idx), Some(sig)) => {
+                        self.shared_hits += 1;
+                        collect_shared_child_candidates(
+                            g,
+                            &self.q,
+                            &self.tree,
+                            idx,
+                            sig,
+                            uc,
+                            cv,
+                            &mut scratch.kids,
+                        )
+                    }
+                    _ => {
+                        if shared.is_some() {
+                            self.shared_misses += 1;
+                        }
+                        collect_child_candidates(
+                            g,
+                            &self.q,
+                            &self.tree,
+                            uc,
+                            cv,
+                            mode,
+                            &mut scratch.kids,
+                        )
+                    }
+                };
                 let end = scratch.kids.len();
                 let mut i = start;
                 while i < end {
                     let w = scratch.kids[i];
                     i += 1;
-                    self.build_dcg(g, Some(cv), uc, w, scratch);
+                    self.build_dcg(g, shared, Some(cv), uc, w, scratch);
                 }
                 scratch.kids.truncate(start);
             }

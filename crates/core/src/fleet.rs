@@ -6,6 +6,32 @@
 //! update batches with [`Fleet::apply_batch`], fanning the per-update
 //! evaluation out across OS threads.
 //!
+//! # Multi-query optimization
+//!
+//! Engines are independent, but their *work* overlaps, and the fleet
+//! exploits that in two layers:
+//!
+//! * **Op routing.** The per-engine `qedge_by_label` buckets are lifted
+//!   into one fleet-wide `label → interested engines` table (rebuilt on
+//!   [`Fleet::register`] / [`Fleet::deregister`]; engines with wildcard
+//!   query edges sit in an always-interested list). Each edge op is
+//!   dispatched only to engines with a query edge that can match its label
+//!   — an op whose label no query mentions costs O(1), not O(N engines).
+//!   Skipping is exact: a non-interested engine would find zero matching
+//!   query edges, change nothing, and emit nothing, so routing cannot
+//!   change output. Vertex additions still visit every engine (start-vertex
+//!   registration is root-*vertex*-label work, not edge-label work).
+//! * **Shared candidate index.** Distinct queries whose execution trees
+//!   contain equal-signature edges (same edge label, child label set, and
+//!   orientation) re-filter identical adjacency runs. The fleet maintains
+//!   one [`SharedCandidateIndex`] — updated once per op, exactly in step
+//!   with the graph — and engines read candidate runs from it during DCG
+//!   builds instead of re-scanning (see [`crate::shared_index`]). The
+//!   [`crate::TurboFluxConfig::fleet_shared_index`] flag is the per-engine
+//!   ablation switch.
+//!
+//! [`Fleet::stats`] reports routing and sharing counters.
+//!
 //! # Concurrency model
 //!
 //! Updates must be evaluated against precise graph states — an insertion
@@ -13,12 +39,13 @@
 //! cannot simply be partitioned. Instead each batch runs as a sequence of
 //! per-op *rounds* inside one [`std::thread::scope`]:
 //!
-//! 1. the driver stages op `i` (mutates the graph under a write lock and
-//!    derives a [`Round`] plan),
-//! 2. workers wake on a barrier and claim engines off a shared atomic
+//! 1. the driver stages op `i` (mutates the graph and the shared index
+//!    under a write lock and derives a [`Round`] plan plus the routed
+//!    target list),
+//! 2. workers wake on a barrier and claim targets off a shared atomic
 //!    cursor (work stealing — engines with expensive queries don't convoy
 //!    the cheap ones), each evaluating the round against the shared
-//!    read-locked graph,
+//!    read-locked graph and index,
 //! 3. a second barrier ends the round and the driver finalizes the op
 //!    (deletions leave the graph only after every engine evaluated them).
 //!
@@ -33,17 +60,19 @@
 //! index, and after the scope ends the buffers are drained in engine-id
 //! order. The emitted sequence is therefore ordered by `(engine, op_index,
 //! engine-internal emission order)` — byte-identical to
-//! [`Fleet::apply_batch_sequential`] and independent of thread count and
-//! scheduling.
+//! [`Fleet::apply_batch_sequential`] and independent of thread count,
+//! scheduling, routing, and candidate sourcing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
+use rustc_hash::FxHashMap;
 use tfx_graph::{DynamicGraph, LabelId, LabelSet, UpdateOp, VertexId};
 use tfx_query::{MatchRecord, Positiveness, QueryGraph};
 
 use crate::config::TurboFluxConfig;
 use crate::engine::TurboFlux;
+use crate::shared_index::SharedCandidateIndex;
 
 /// One buffered match: `(op index, positiveness, mapping)`.
 type Pending = (usize, Positiveness, MatchRecord);
@@ -51,7 +80,7 @@ type Pending = (usize, Positiveness, MatchRecord);
 /// A match delta reported by [`Fleet::apply_batch`].
 #[derive(Clone, Copy, Debug)]
 pub struct FleetDelta<'a> {
-    /// The engine (registration index) the match belongs to.
+    /// The engine (stable registration id) the match belongs to.
     pub engine: usize,
     /// Index of the triggering op within the batch.
     pub op_index: usize,
@@ -61,9 +90,25 @@ pub struct FleetDelta<'a> {
     pub record: &'a MatchRecord,
 }
 
+/// Multi-query-optimization counters, cumulative over a [`Fleet`]'s
+/// lifetime (deregistered engines' contributions are retained).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Engine-evaluations of edge ops that were dispatched (the engine had
+    /// a query edge that could match the op's label).
+    pub ops_routed: u64,
+    /// Engine-evaluations of edge ops that were skipped by routing.
+    pub ops_skipped: u64,
+    /// DCG candidate collections served from the shared index.
+    pub shared_hits: u64,
+    /// DCG candidate collections that fell back to a private adjacency
+    /// scan while the shared index was in use (unshareable tree edge).
+    pub shared_misses: u64,
+}
+
 /// Per-op evaluation plan, derived once by the driver and executed by every
-/// engine. Graph mutations happen in the driver (`stage` / `finalize`);
-/// rounds only read the graph.
+/// targeted engine. Graph mutations happen in the driver (`stage` /
+/// `finalize`); rounds only read the graph.
 #[derive(Clone, Copy, Debug)]
 enum Round {
     /// No-op (duplicate edge, missing edge, known vertex).
@@ -77,8 +122,9 @@ enum Round {
 }
 
 /// Applies the graph-mutating half of `op` that must precede evaluation
-/// and plans the engines' round.
-fn stage(graph: &mut DynamicGraph, op: &UpdateOp) -> Round {
+/// (keeping the shared candidate index exactly in step with the graph) and
+/// plans the engines' round.
+fn stage(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, op: &UpdateOp) -> Round {
     match *op {
         UpdateOp::AddVertex { .. } => {
             let from = VertexId(graph.vertex_count() as u32);
@@ -97,6 +143,7 @@ fn stage(graph: &mut DynamicGraph, op: &UpdateOp) -> Round {
                 graph.ensure_vertex(VertexId(hi), LabelSet::empty());
             }
             if graph.insert_edge(src, label, dst) {
+                shared.insert_edge(graph, src, label, dst);
                 Round::Insert { from, src, label, dst }
             } else if graph.vertex_count() as u32 > from.0 {
                 Round::Register { from }
@@ -115,18 +162,111 @@ fn stage(graph: &mut DynamicGraph, op: &UpdateOp) -> Round {
 }
 
 /// Applies the graph-mutating half of an op that must *follow* evaluation.
-fn finalize(graph: &mut DynamicGraph, round: &Round) {
+fn finalize(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, round: &Round) {
     if let Round::Delete { src, label, dst } = *round {
+        shared.delete_edge(src, label, dst);
         graph.delete_edge(src, label, dst);
     }
 }
 
-/// Runs one round on one engine, buffering its matches.
+/// Appends the routed target list for `round` to the cleared `out`:
+/// `(engine position, evaluate)` pairs in ascending position order.
+/// Non-listed engines provably have nothing to do; listed-but-not-evaluate
+/// engines only register new vertices.
+fn plan_round(
+    routing: &FxHashMap<LabelId, Vec<usize>>,
+    wildcard: &[usize],
+    nengines: usize,
+    graph: &DynamicGraph,
+    round: &Round,
+    out: &mut Vec<(usize, bool)>,
+) {
+    out.clear();
+    match *round {
+        Round::Skip => {}
+        Round::Register { .. } => out.extend((0..nengines).map(|p| (p, true))),
+        Round::Insert { from, label, .. } => {
+            let routed = routing.get(&label).map_or(&[][..], Vec::as_slice);
+            if (from.0 as usize) < graph.vertex_count() {
+                // The op also created vertices: every engine registers
+                // start candidates; only interested ones evaluate the edge.
+                let mut interested = merge_sorted(routed, wildcard);
+                out.extend((0..nengines).map(|p| {
+                    let eval = interested.peek() == Some(&p);
+                    if eval {
+                        interested.next();
+                    }
+                    (p, eval)
+                }));
+            } else {
+                out.extend(merge_sorted(routed, wildcard).map(|p| (p, true)));
+            }
+        }
+        Round::Delete { label, .. } => {
+            let routed = routing.get(&label).map_or(&[][..], Vec::as_slice);
+            out.extend(merge_sorted(routed, wildcard).map(|p| (p, true)));
+        }
+    }
+}
+
+/// Merges two ascending, individually duplicate-free position lists into
+/// one ascending deduplicated iterator (an engine can appear in both: a
+/// labeled bucket and the wildcard list).
+fn merge_sorted<'a>(
+    a: &'a [usize],
+    b: &'a [usize],
+) -> std::iter::Peekable<impl Iterator<Item = usize> + 'a> {
+    let (mut i, mut j) = (0, 0);
+    std::iter::from_fn(move || {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    if x == y {
+                        j += 1;
+                    }
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => return None,
+        };
+        Some(next)
+    })
+    .peekable()
+}
+
+/// Counts an edge-op round's routing outcome into the fleet counters.
+fn count_round(round: &Round, targets: &[(usize, bool)], nengines: usize) -> (u64, u64) {
+    match round {
+        Round::Insert { .. } | Round::Delete { .. } => {
+            let evals = targets.iter().filter(|t| t.1).count() as u64;
+            (evals, nengines as u64 - evals)
+        }
+        _ => (0, 0),
+    }
+}
+
+/// Runs one round on one engine, buffering its matches. `eval == false`
+/// restricts an `Insert` round to vertex registration (the engine was not
+/// routed the edge itself).
 fn run_round(
     engine: &mut TurboFlux,
     g: &DynamicGraph,
+    shared: &SharedCandidateIndex,
     op_index: usize,
     round: &Round,
+    eval: bool,
     buf: &mut Vec<Pending>,
 ) {
     match *round {
@@ -134,23 +274,30 @@ fn run_round(
         Round::Register { from } => engine.register_new_vertices(g, from),
         Round::Insert { from, src, label, dst } => {
             engine.register_new_vertices(g, from);
-            engine.eval_inserted_edge(g, src, label, dst, &mut |p, r| {
-                buf.push((op_index, p, r.clone()));
-            });
+            if eval {
+                let shared = engine.uses_shared_index().then_some(shared);
+                engine.eval_inserted_edge_in(g, shared, src, label, dst, &mut |p, r| {
+                    buf.push((op_index, p, r.clone()));
+                });
+            }
         }
         Round::Delete { src, label, dst } => {
-            engine.eval_deleting_edge(g, src, label, dst, &mut |p, r| {
-                buf.push((op_index, p, r.clone()));
-            });
+            if eval {
+                engine.eval_deleting_edge(g, src, label, dst, &mut |p, r| {
+                    buf.push((op_index, p, r.clone()));
+                });
+            }
         }
     }
 }
 
-/// Drains the per-engine buffers in deterministic `(engine, op_index)`
-/// order (each buffer is already sorted by op index).
-fn emit(bufs: &[Vec<Pending>], sink: &mut dyn FnMut(FleetDelta<'_>)) {
-    for (engine, buf) in bufs.iter().enumerate() {
+/// Drains the per-engine buffers in deterministic `(engine id, op_index)`
+/// order (each buffer is already sorted by op index; `ids` ascend with
+/// position, so position order is id order).
+fn emit(ids: &[usize], bufs: &[Vec<Pending>], sink: &mut dyn FnMut(FleetDelta<'_>)) {
+    for (pos, buf) in bufs.iter().enumerate() {
         debug_assert!(buf.windows(2).all(|w| w[0].0 <= w[1].0));
+        let engine = ids[pos];
         for (op_index, p, rec) in buf {
             sink(FleetDelta { engine, op_index: *op_index, positiveness: *p, record: rec });
         }
@@ -160,7 +307,25 @@ fn emit(bufs: &[Vec<Pending>], sink: &mut dyn FnMut(FleetDelta<'_>)) {
 /// A set of continuous queries evaluated together over one streaming graph.
 pub struct Fleet {
     graph: DynamicGraph,
+    shared: SharedCandidateIndex,
     engines: Vec<TurboFlux>,
+    /// Stable registration id per engine position; strictly ascending
+    /// ([`Fleet::deregister`] removes, never renumbers), so position order
+    /// is id order and [`FleetDelta`]s stay sorted by `(engine, op_index)`.
+    ids: Vec<usize>,
+    next_id: usize,
+    /// Edge label → engine positions with a query edge of that label
+    /// (ascending). Rebuilt on register/deregister.
+    routing: FxHashMap<LabelId, Vec<usize>>,
+    /// Engine positions with label-wildcard query edges: interested in
+    /// every edge op (ascending).
+    wildcard: Vec<usize>,
+    ops_routed: u64,
+    ops_skipped: u64,
+    /// Shared-index counters drained from deregistered engines (live
+    /// engines keep their own; [`Fleet::stats`] sums both).
+    drained_hits: u64,
+    drained_misses: u64,
     threads: usize,
 }
 
@@ -174,11 +339,28 @@ impl Fleet {
     /// A fleet over `g0` evaluating batches on up to `threads` worker
     /// threads (clamped to ≥ 1; `1` evaluates inline without spawning).
     pub fn with_threads(g0: DynamicGraph, threads: usize) -> Self {
-        Fleet { graph: g0, engines: Vec::new(), threads: threads.max(1) }
+        Fleet {
+            graph: g0,
+            shared: SharedCandidateIndex::new(),
+            engines: Vec::new(),
+            ids: Vec::new(),
+            next_id: 0,
+            routing: FxHashMap::default(),
+            wildcard: Vec::new(),
+            ops_routed: 0,
+            ops_skipped: 0,
+            drained_hits: 0,
+            drained_misses: 0,
+            threads: threads.max(1),
+        }
     }
 
-    /// Registers a query against the current graph state, building its DCG.
-    /// Returns the engine id used in [`FleetDelta::engine`].
+    /// Registers a query against the current graph state, building its DCG,
+    /// entering it into the op-routing table, and binding its shareable
+    /// tree edges to the shared candidate index (unless
+    /// [`TurboFluxConfig::fleet_shared_index`] is off). Returns the
+    /// engine's stable id, used in [`FleetDelta::engine`] and
+    /// [`Fleet::deregister`]; ids are never reused.
     ///
     /// Fleet engines are capped to the fleet's thread budget for
     /// intra-update parallelism; [`Fleet::apply_batch`] tightens the cap
@@ -186,8 +368,56 @@ impl Fleet {
     pub fn register(&mut self, q: QueryGraph, cfg: TurboFluxConfig) -> usize {
         let mut engine = TurboFlux::register(q, &self.graph, cfg);
         engine.set_worker_budget(self.threads);
+        if cfg.fleet_shared_index {
+            let nq = engine.query().vertex_count();
+            for ui in 0..nq as u32 {
+                let u = tfx_query::QVertexId(ui);
+                if let Some(key) = engine.shared_sig_key(u) {
+                    engine.shared_sigs[u.index()] = Some(self.shared.acquire(&self.graph, key));
+                }
+            }
+        }
         self.engines.push(engine);
-        self.engines.len() - 1
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.push(id);
+        self.rebuild_routing();
+        id
+    }
+
+    /// Removes the engine registered as `id`, releasing its shared-index
+    /// signatures and rebuilding the routing table. Its counters fold into
+    /// [`Fleet::stats`]. Returns `false` if `id` is unknown (already
+    /// deregistered or never issued).
+    pub fn deregister(&mut self, id: usize) -> bool {
+        let Ok(pos) = self.ids.binary_search(&id) else {
+            return false;
+        };
+        self.ids.remove(pos);
+        let engine = self.engines.remove(pos);
+        for sig in engine.shared_sigs.iter().flatten() {
+            self.shared.release(*sig);
+        }
+        self.drained_hits += engine.shared_hits;
+        self.drained_misses += engine.shared_misses;
+        self.rebuild_routing();
+        true
+    }
+
+    /// Rebuilds the label → interested-positions table and the wildcard
+    /// list from the engines' query-edge buckets. Positions are pushed in
+    /// ascending order, so every list stays sorted.
+    fn rebuild_routing(&mut self) {
+        self.routing.clear();
+        self.wildcard.clear();
+        for (pos, engine) in self.engines.iter().enumerate() {
+            for &label in engine.qedge_by_label.keys() {
+                self.routing.entry(label).or_default().push(pos);
+            }
+            if !engine.qedge_wildcard.is_empty() {
+                self.wildcard.push(pos);
+            }
+        }
     }
 
     /// The shared data graph.
@@ -195,9 +425,19 @@ impl Fleet {
         &self.graph
     }
 
+    /// The fleet-shared candidate index.
+    pub fn shared_index(&self) -> &SharedCandidateIndex {
+        &self.shared
+    }
+
+    /// Engine position for a stable registration id.
+    fn pos_of(&self, id: usize) -> usize {
+        self.ids.binary_search(&id).expect("unknown or deregistered engine id")
+    }
+
     /// The engine registered as `id`.
     pub fn engine(&self, id: usize) -> &TurboFlux {
-        &self.engines[id]
+        &self.engines[self.pos_of(id)]
     }
 
     /// Number of registered engines.
@@ -205,21 +445,42 @@ impl Fleet {
         self.engines.len()
     }
 
+    /// Stable ids of all registered engines, ascending.
+    pub fn engine_ids(&self) -> &[usize] {
+        &self.ids
+    }
+
     /// Configured worker-thread cap.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Cumulative routing and shared-index counters.
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = FleetStats {
+            ops_routed: self.ops_routed,
+            ops_skipped: self.ops_skipped,
+            shared_hits: self.drained_hits,
+            shared_misses: self.drained_misses,
+        };
+        for engine in &self.engines {
+            stats.shared_hits += engine.shared_hits;
+            stats.shared_misses += engine.shared_misses;
+        }
+        stats
+    }
+
     /// Reports all matches of engine `id` against the current graph state.
     pub fn report_initial(&mut self, id: usize, sink: &mut dyn FnMut(&MatchRecord)) {
+        let pos = self.pos_of(id);
         let Fleet { graph, engines, .. } = self;
-        engines[id].initial_matches_in(graph, sink);
+        engines[pos].initial_matches_in(graph, sink);
     }
 
     /// Applies a batch of updates to the shared graph, evaluating every
-    /// engine, in parallel when the fleet has both threads and engines to
-    /// spare. Matches are buffered per batch and delivered in deterministic
-    /// `(engine, op_index, emission)` order — identical to
+    /// routed engine, in parallel when the fleet has both threads and
+    /// engines to spare. Matches are buffered per batch and delivered in
+    /// deterministic `(engine, op_index, emission)` order — identical to
     /// [`Fleet::apply_batch_sequential`] regardless of thread count.
     pub fn apply_batch(&mut self, ops: &[UpdateOp], sink: &mut dyn FnMut(FleetDelta<'_>)) {
         let workers = self.threads.min(self.engines.len());
@@ -235,43 +496,50 @@ impl Fleet {
         for engine in &mut self.engines {
             engine.set_worker_budget(budget);
         }
-        let nengines = self.engines.len();
+        let Fleet {
+            graph, shared, engines, ids, routing, wildcard, ops_routed, ops_skipped, ..
+        } = &mut *self;
+        let nengines = engines.len();
         let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
+        let (mut routed_acc, mut skipped_acc) = (0u64, 0u64);
         {
             // Each engine (plus its buffer) behind its own mutex: exactly
             // one worker claims it per round, so locks never contend; the
             // mutex exists to hand out disjoint `&mut`s safely.
-            let slots: Vec<Mutex<(&mut TurboFlux, &mut Vec<Pending>)>> = self
-                .engines
-                .iter_mut()
-                .zip(bufs.iter_mut())
-                .map(|(e, b)| Mutex::new((e, b)))
-                .collect();
-            // Workers read the graph during rounds; the driver writes it
-            // strictly between rounds (while no read guard is held, by the
-            // barrier protocol), so this lock never blocks anyone.
-            let graph = RwLock::new(std::mem::take(&mut self.graph));
+            let slots: Vec<Mutex<(&mut TurboFlux, &mut Vec<Pending>)>> =
+                engines.iter_mut().zip(bufs.iter_mut()).map(|(e, b)| Mutex::new((e, b))).collect();
+            // Workers read the graph and shared index during rounds; the
+            // driver writes them strictly between rounds (while no read
+            // guard is held, by the barrier protocol), so this lock never
+            // blocks anyone.
+            let state = RwLock::new((std::mem::take(graph), std::mem::take(shared)));
             let cursor = AtomicUsize::new(0);
             let barrier = Barrier::new(workers + 1);
             let round: RwLock<(usize, Round)> = RwLock::new((0, Round::Skip));
+            // Routed target list for the current round, rewritten by the
+            // driver while it holds the state write lock.
+            let targets: RwLock<Vec<(usize, bool)>> = RwLock::new(Vec::new());
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| {
                         for _ in 0..ops.len() {
                             barrier.wait(); // round published
                             {
-                                let g = graph.read().unwrap();
+                                let st = state.read().unwrap();
+                                let (g, sh) = &*st;
                                 let (op_index, rd) = *round.read().unwrap();
+                                let tg = targets.read().unwrap();
                                 // Work stealing: grab the next unclaimed
-                                // engine until none are left.
+                                // target until none are left.
                                 loop {
-                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                    if i >= nengines {
+                                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if t >= tg.len() {
                                         break;
                                     }
-                                    let mut slot = slots[i].lock().unwrap();
+                                    let (pos, eval) = tg[t];
+                                    let mut slot = slots[pos].lock().unwrap();
                                     let (engine, buf) = &mut *slot;
-                                    run_round(engine, &g, op_index, &rd, buf);
+                                    run_round(engine, g, sh, op_index, &rd, eval, buf);
                                 }
                             } // read guards dropped before the barrier
                             barrier.wait(); // round complete
@@ -280,43 +548,64 @@ impl Fleet {
                 }
                 for (op_index, op) in ops.iter().enumerate() {
                     {
-                        let mut g = graph.write().unwrap();
-                        *round.write().unwrap() = (op_index, stage(&mut g, op));
+                        let mut st = state.write().unwrap();
+                        let (g, sh) = &mut *st;
+                        let rd = stage(g, sh, op);
+                        let mut tg = targets.write().unwrap();
+                        plan_round(routing, wildcard, nengines, g, &rd, &mut tg);
+                        let (r, sk) = count_round(&rd, &tg, nengines);
+                        routed_acc += r;
+                        skipped_acc += sk;
+                        *round.write().unwrap() = (op_index, rd);
                     }
                     cursor.store(0, Ordering::SeqCst);
                     barrier.wait(); // start the round
-                    barrier.wait(); // every engine evaluated
+                    barrier.wait(); // every routed engine evaluated
                     let rd = round.read().unwrap().1;
-                    finalize(&mut graph.write().unwrap(), &rd);
+                    let mut st = state.write().unwrap();
+                    let (g, sh) = &mut *st;
+                    finalize(g, sh, &rd);
                 }
             });
-            self.graph = graph.into_inner().unwrap();
+            let (g, sh) = state.into_inner().unwrap();
+            *graph = g;
+            *shared = sh;
         }
-        emit(&bufs, sink);
+        *ops_routed += routed_acc;
+        *ops_skipped += skipped_acc;
+        emit(ids, &bufs, sink);
     }
 
     /// Single-threaded reference implementation of [`Fleet::apply_batch`]:
-    /// same staging, same buffering, same output order. Used as the
-    /// determinism oracle and the benchmark baseline.
+    /// same staging, same routing, same buffering, same output order. Used
+    /// as the determinism oracle and the benchmark baseline.
     pub fn apply_batch_sequential(
         &mut self,
         ops: &[UpdateOp],
         sink: &mut dyn FnMut(FleetDelta<'_>),
     ) {
-        let mut bufs: Vec<Vec<Pending>> =
-            std::iter::repeat_with(Vec::new).take(self.engines.len()).collect();
         // Engines run one at a time here, so each may use the full budget.
         for engine in &mut self.engines {
             engine.set_worker_budget(self.threads);
         }
+        let Fleet {
+            graph, shared, engines, ids, routing, wildcard, ops_routed, ops_skipped, ..
+        } = &mut *self;
+        let nengines = engines.len();
+        let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
+        let mut targets: Vec<(usize, bool)> = Vec::new();
         for (op_index, op) in ops.iter().enumerate() {
-            let round = stage(&mut self.graph, op);
-            for (i, engine) in self.engines.iter_mut().enumerate() {
-                run_round(engine, &self.graph, op_index, &round, &mut bufs[i]);
+            let round = stage(graph, shared, op);
+            plan_round(routing, wildcard, nengines, graph, &round, &mut targets);
+            let (r, sk) = count_round(&round, &targets, nengines);
+            *ops_routed += r;
+            *ops_skipped += sk;
+            for &(pos, eval) in &targets {
+                run_round(&mut engines[pos], graph, shared, op_index, &round, eval, &mut bufs[pos]);
             }
-            finalize(&mut self.graph, &round);
+            finalize(graph, shared, &round);
         }
-        emit(&bufs, sink);
+        emit(ids, &bufs, sink);
     }
 }
 
@@ -449,5 +738,142 @@ mod tests {
         let id = fleet.register(queries[0].clone(), TurboFluxConfig::default());
         fleet.apply_batch(&[], &mut |_| panic!("empty batch"));
         assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn routing_skips_uninterested_engines() {
+        let (g0, queries) = setup();
+        let mut fleet = Fleet::with_threads(g0, 1);
+        for q in &queries {
+            fleet.register(q.clone(), TurboFluxConfig::default());
+        }
+        // Label 7 interests both engines; label 8 only q2; label 99 nobody.
+        let v = VertexId;
+        let batch = vec![
+            UpdateOp::InsertEdge { src: v(0), label: l(7), dst: v(1) }, // routed: 2
+            UpdateOp::InsertEdge { src: v(2), label: l(8), dst: v(1) }, // routed: 1
+            UpdateOp::InsertEdge { src: v(2), label: l(99), dst: v(1) }, // routed: 0
+            UpdateOp::DeleteEdge { src: v(2), label: l(99), dst: v(1) }, // routed: 0
+        ];
+        fleet.apply_batch(&batch, &mut |_| {});
+        let stats = fleet.stats();
+        assert_eq!(stats.ops_routed, 3);
+        assert_eq!(stats.ops_skipped, 5);
+    }
+
+    #[test]
+    fn wildcard_queries_are_always_interested() {
+        let (g0, _) = setup();
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::single(l(0)));
+        let b = q.add_vertex(LabelSet::single(l(1)));
+        q.add_edge(a, b, None); // any edge label
+        let mut fleet = Fleet::with_threads(g0, 1);
+        fleet.register(q, TurboFluxConfig::default());
+        let mut n = 0;
+        fleet.apply_batch(
+            &[UpdateOp::InsertEdge { src: VertexId(0), label: l(99), dst: VertexId(1) }],
+            &mut |_| n += 1,
+        );
+        assert_eq!(n, 1, "wildcard engine must see the exotic-label edge");
+        let stats = fleet.stats();
+        assert_eq!(stats.ops_routed, 1);
+        assert_eq!(stats.ops_skipped, 0);
+    }
+
+    #[test]
+    fn register_deregister_register_churn() {
+        let (g0, queries) = setup();
+        let mut fleet = Fleet::with_threads(g0.clone(), 2);
+        let id1 = fleet.register(queries[0].clone(), TurboFluxConfig::default());
+        let id2 = fleet.register(queries[1].clone(), TurboFluxConfig::default());
+        assert_eq!((id1, id2), (0, 1));
+        assert!(fleet.shared_index().signature_count() > 0);
+
+        assert!(fleet.deregister(id1));
+        assert!(!fleet.deregister(id1), "double deregister is rejected");
+        assert_eq!(fleet.engine_count(), 1);
+        assert_eq!(fleet.engine_ids(), &[1]);
+
+        // The survivor keeps matching under its stable id.
+        let batch = ops();
+        let got = collect_batch(&mut fleet, &batch, true);
+        assert!(got.iter().all(|d| d.0 == id2), "only engine 1 is left");
+        assert!(!got.is_empty());
+
+        // Re-registration gets a fresh id and a routing entry.
+        let id3 = fleet.register(queries[0].clone(), TurboFluxConfig::default());
+        assert_eq!(id3, 2, "ids are never reused");
+        assert_eq!(fleet.engine_ids(), &[1, 2]);
+        let mut n = 0;
+        fleet.report_initial(id3, &mut |_| n += 1);
+        assert_eq!(n, 2, "fresh engine sees the post-batch graph (2-7->1, 3-7->1)");
+
+        // Deregistering everything releases every shared signature.
+        assert!(fleet.deregister(id2));
+        assert!(fleet.deregister(id3));
+        assert_eq!(fleet.shared_index().signature_count(), 0);
+        assert_eq!(fleet.engine_count(), 0);
+
+        // An empty fleet still advances the graph.
+        fleet.apply_batch(
+            &[UpdateOp::DeleteEdge { src: VertexId(2), label: l(7), dst: VertexId(1) }],
+            &mut |_| panic!("no engines"),
+        );
+    }
+
+    #[test]
+    fn shared_index_counters_are_nonvacuous_and_ablatable() {
+        // Shared-index hits need depth: a path A-7->B-8->C rooted at A
+        // collects C-candidates whenever a 7-edge builds a B below the
+        // root. g0 makes the 7-edge the most selective (so the tree roots
+        // at u0) and pre-seeds 8-edges for the candidate runs.
+        let v = VertexId;
+        let mut g0 = DynamicGraph::new();
+        g0.add_vertex(LabelSet::single(l(0))); // v0: A
+        g0.add_vertex(LabelSet::single(l(1))); // v1: B
+        g0.add_vertex(LabelSet::single(l(2))); // v2: C
+        g0.add_vertex(LabelSet::single(l(1))); // v3: B
+        g0.add_vertex(LabelSet::single(l(2))); // v4: C
+        g0.insert_edge(v(1), l(8), v(2));
+        g0.insert_edge(v(3), l(8), v(4));
+        g0.insert_edge(v(3), l(8), v(2));
+        g0.insert_edge(v(0), l(7), v(1));
+
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(LabelSet::single(l(0)));
+        let b = q.add_vertex(LabelSet::single(l(1)));
+        let c = q.add_vertex(LabelSet::single(l(2)));
+        q.add_edge(a, b, Some(l(7)));
+        q.add_edge(b, c, Some(l(8)));
+
+        let mut on = Fleet::with_threads(g0.clone(), 1);
+        let mut off = Fleet::with_threads(g0, 1);
+        for _ in 0..2 {
+            on.register(q.clone(), TurboFluxConfig::default());
+            off.register(
+                q.clone(),
+                TurboFluxConfig { fleet_shared_index: false, ..TurboFluxConfig::default() },
+            );
+        }
+        assert!(on.shared_index().signature_count() > 0);
+        assert_eq!(
+            on.shared_index().signature_count(),
+            2,
+            "identical queries share their (7,B)/(8,C) signatures"
+        );
+        assert_eq!(off.shared_index().signature_count(), 0);
+        let batch = vec![
+            UpdateOp::InsertEdge { src: v(0), label: l(7), dst: v(3) },
+            UpdateOp::DeleteEdge { src: v(0), label: l(7), dst: v(3) },
+            UpdateOp::InsertEdge { src: v(0), label: l(7), dst: v(3) },
+        ];
+        let got_on = collect_batch(&mut on, &batch, false);
+        let got_off = collect_batch(&mut off, &batch, false);
+        assert_eq!(got_on, got_off, "ablation must not change output");
+        assert!(!got_on.is_empty());
+        assert!(on.stats().shared_hits > 0, "shared runs actually served");
+        assert_eq!(off.stats().shared_hits, 0);
+        assert_eq!(off.stats().shared_misses, 0, "flag-off engines never consult the index");
     }
 }

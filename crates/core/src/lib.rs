@@ -43,15 +43,17 @@ pub mod order;
 mod parallel;
 mod scratch;
 mod search;
+pub mod shared_index;
 pub mod spec;
 pub mod tree_nav;
 
 pub use config::TurboFluxConfig;
 pub use dcg::{Dcg, EdgeState};
 pub use engine::TurboFlux;
-pub use fleet::{Fleet, FleetDelta};
+pub use fleet::{Fleet, FleetDelta, FleetStats};
 pub use order::OrderMaintenance;
 pub use search::INTERSECT_MIN_FRONTIER;
+pub use shared_index::{SharedCandidateIndex, SigKey};
 pub use spec::{reference_dcg, DcgImage};
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
 use crate::scratch::SearchScratch;
 use crate::search::SearchCtx;
+use crate::shared_index::SharedCandidateIndex;
 
 impl TurboFlux {
     /// Evaluates one edge insertion already applied to `g` by the caller
@@ -25,15 +26,33 @@ impl TurboFlux {
         dst: VertexId,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
+        self.eval_inserted_edge_in(g, None, src, label, dst, sink);
+    }
+
+    /// [`TurboFlux::eval_inserted_edge`] with an optional fleet-shared
+    /// candidate index sourcing the DCG builds (see
+    /// [`crate::shared_index`]); a [`crate::fleet::Fleet`] passes its index
+    /// here, everyone else goes through the plain wrapper.
+    pub(crate) fn eval_inserted_edge_in(
+        &mut self,
+        g: &DynamicGraph,
+        shared: Option<&SharedCandidateIndex>,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
         let mut scratch = std::mem::take(&mut self.scratch);
-        self.insert_eval_with(g, src, label, dst, &mut scratch, sink);
+        self.insert_eval_with(g, shared, src, label, dst, &mut scratch, sink);
         self.scratch = scratch;
         self.maybe_adjust_order();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_eval_with(
         &mut self,
         g: &DynamicGraph,
+        shared: Option<&SharedCandidateIndex>,
         src: VertexId,
         label: LabelId,
         dst: VertexId,
@@ -61,7 +80,7 @@ impl TurboFlux {
             // already built this DCG edge (the inserted edge can match
             // several tree edges whose builds overlap).
             if self.dcg.state(pv, uc, cv).is_none() {
-                self.build_dcg(g, Some(pv), uc, cv, scratch);
+                self.build_dcg(g, shared, Some(pv), uc, cv, scratch);
             }
             if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
                 && self.match_all_children(pv, up)

@@ -1,0 +1,326 @@
+//! Fleet-owned shared candidate-prefix index (multi-query optimization).
+//!
+//! Standing queries overlap: two queries whose execution trees both contain
+//! an edge "parent −label→ child with child-label set L" filter exactly the
+//! same adjacency runs against exactly the same label predicate, once per
+//! engine per update. The [`SharedCandidateIndex`] factors that common
+//! single-edge candidate set out of the per-query DCG maintenance: the
+//! fleet maintains, once per graph mutation, a per-parent-vertex run of
+//! child candidates for every distinct *signature* in use, and every engine
+//! whose tree edge matches a signature reads the pre-filtered run instead
+//! of re-scanning and re-filtering adjacency itself.
+//!
+//! A signature is `(edge label, child label set, orientation)` — the
+//! complete per-candidate filter of the private scan except the *parent*
+//! label check, which depends on the individual query and stays a read-time
+//! predicate (see [`crate::tree_nav::collect_shared_child_candidates`]).
+//! Signatures are refcounted across engines so churn
+//! (register/deregister) keeps the index minimal.
+//!
+//! Determinism: a shared run holds exactly the candidates the private
+//! Indexed-mode scan would produce, in the same ascending vertex-id order
+//! (adjacency runs are sorted and the graph holds at most one edge per
+//! `(src, label, dst)` triple), so swapping the candidate source cannot
+//! perturb DCG construction order or emitted deltas.
+
+use rustc_hash::FxHashMap;
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, VertexId};
+
+/// Identity of a shareable candidate set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SigKey {
+    /// Concrete query-edge label (wildcard edges are not shareable).
+    pub label: LabelId,
+    /// Label set required on the candidate (tree-child) endpoint.
+    pub child_labels: LabelSet,
+    /// `true` if the tree child is the data edge's *target* (candidates are
+    /// out-neighbors of the parent vertex), `false` for in-neighbors.
+    pub out: bool,
+}
+
+/// One refcounted signature with its materialized per-parent runs.
+struct Signature {
+    key: SigKey,
+    refs: usize,
+    /// `runs[pv]` = sorted, duplicate-free candidates `cv` such that the
+    /// oriented data edge `(pv, label, cv)` exists and
+    /// `child_labels ⊆ labels(cv)`.
+    runs: Vec<Vec<VertexId>>,
+}
+
+/// Slot-arena of signatures plus lookup maps. Owned by a
+/// [`crate::fleet::Fleet`]; maintained by its driver strictly between
+/// evaluation rounds, read by engines (through shared references) during
+/// rounds.
+#[derive(Default)]
+pub struct SharedCandidateIndex {
+    sigs: Vec<Option<Signature>>,
+    free: Vec<u32>,
+    by_key: FxHashMap<SigKey, u32>,
+    /// Live signature ids per edge label, so mutation touches only the
+    /// signatures that can care about the updated edge.
+    by_label: FxHashMap<LabelId, Vec<u32>>,
+}
+
+impl SharedCandidateIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (referenced) signatures.
+    pub fn signature_count(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Acquires a reference on the signature `key`, materializing its runs
+    /// from the current graph on first acquisition. Returns the signature
+    /// id used with [`SharedCandidateIndex::run`].
+    pub fn acquire(&mut self, g: &DynamicGraph, key: SigKey) -> u32 {
+        if let Some(&id) = self.by_key.get(&key) {
+            self.sigs[id as usize].as_mut().expect("live signature").refs += 1;
+            return id;
+        }
+        let mut sig = Signature { key: key.clone(), refs: 1, runs: Vec::new() };
+        for e in g.edges() {
+            if e.label == key.label {
+                push_candidate(&mut sig.runs, &key, g, e.src, e.dst);
+            }
+        }
+        // Graph edge iteration order is arbitrary (hash set); each run is
+        // sorted once here and kept sorted incrementally afterwards. Runs
+        // are duplicate-free because the graph holds at most one edge per
+        // (src, label, dst) triple.
+        for run in &mut sig.runs {
+            run.sort_unstable();
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.sigs[id as usize] = Some(sig);
+                id
+            }
+            None => {
+                self.sigs.push(Some(sig));
+                (self.sigs.len() - 1) as u32
+            }
+        };
+        self.by_key.insert(key.clone(), id);
+        self.by_label.entry(key.label).or_default().push(id);
+        id
+    }
+
+    /// Releases one reference on signature `id`, dropping its runs (and
+    /// recycling the slot) when the last referencing engine deregisters.
+    pub fn release(&mut self, id: u32) {
+        let slot = self.sigs[id as usize].as_mut().expect("release of a dead signature");
+        slot.refs -= 1;
+        if slot.refs > 0 {
+            return;
+        }
+        let sig = self.sigs[id as usize].take().expect("checked live above");
+        self.by_key.remove(&sig.key);
+        let ids = self.by_label.get_mut(&sig.key.label).expect("label entry exists");
+        ids.retain(|&s| s != id);
+        if ids.is_empty() {
+            self.by_label.remove(&sig.key.label);
+        }
+        self.free.push(id);
+    }
+
+    /// Folds the (already applied) insertion of data edge
+    /// `(src, label, dst)` into every signature with that label. O(1) when
+    /// no live signature uses the label.
+    pub fn insert_edge(&mut self, g: &DynamicGraph, src: VertexId, label: LabelId, dst: VertexId) {
+        let Some(ids) = self.by_label.get(&label) else { return };
+        for &id in ids {
+            let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
+            insert_candidate(&mut sig.runs, &sig.key, g, src, dst);
+        }
+    }
+
+    /// Folds the impending deletion of data edge `(src, label, dst)` out of
+    /// every signature with that label (called before the edge leaves the
+    /// graph, mirroring when engines evaluate deletions).
+    pub fn delete_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        let Some(ids) = self.by_label.get(&label) else { return };
+        for &id in ids {
+            let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
+            let (pv, cand) = orient(&sig.key, src, dst);
+            let Some(run) = sig.runs.get_mut(pv.index()) else { continue };
+            // A candidate that failed the child-label filter at insertion
+            // time simply isn't present; binary search keeps removal total.
+            if let Ok(i) = run.binary_search(&cand) {
+                run.remove(i);
+            }
+        }
+    }
+
+    /// The sorted candidate run of signature `id` for parent vertex `pv`.
+    #[inline]
+    pub fn run(&self, id: u32, pv: VertexId) -> &[VertexId] {
+        let sig = self.sigs[id as usize].as_ref().expect("run() on a dead signature");
+        sig.runs.get(pv.index()).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// `(parent, candidate)` endpoints of a data edge under `key`'s orientation.
+#[inline]
+fn orient(key: &SigKey, src: VertexId, dst: VertexId) -> (VertexId, VertexId) {
+    if key.out {
+        (src, dst)
+    } else {
+        (dst, src)
+    }
+}
+
+/// Appends (unsorted build path) the candidate for one data edge, if its
+/// child endpoint satisfies the signature's label filter.
+fn push_candidate(
+    runs: &mut Vec<Vec<VertexId>>,
+    key: &SigKey,
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+) {
+    let (pv, cand) = orient(key, src, dst);
+    if key.child_labels.is_subset_of(g.labels(cand)) {
+        if runs.len() <= pv.index() {
+            runs.resize_with(pv.index() + 1, Vec::new);
+        }
+        runs[pv.index()].push(cand);
+    }
+}
+
+/// Sorted-position insertion of the candidate for one data edge.
+fn insert_candidate(
+    runs: &mut Vec<Vec<VertexId>>,
+    key: &SigKey,
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+) {
+    let (pv, cand) = orient(key, src, dst);
+    if !key.child_labels.is_subset_of(g.labels(cand)) {
+        return;
+    }
+    if runs.len() <= pv.index() {
+        runs.resize_with(pv.index() + 1, Vec::new);
+    }
+    let run = &mut runs[pv.index()];
+    match run.binary_search(&cand) {
+        // The graph rejects duplicate (src, label, dst) insertions before
+        // the index is told, so the candidate can only be absent.
+        Ok(_) => debug_assert!(false, "duplicate candidate {cand:?} in shared run"),
+        Err(i) => run.insert(i, cand),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::LabelSet;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// a:A −7→ b:B, a −7→ c:{B,C}, a −8→ b, c −7→ a.
+    fn setup() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(LabelSet::single(l(0)));
+        let b = g.add_vertex(LabelSet::single(l(1)));
+        let c = g.add_vertex(LabelSet::from_iter([l(1), l(2)]));
+        g.insert_edge(a, l(7), b);
+        g.insert_edge(a, l(7), c);
+        g.insert_edge(a, l(8), b);
+        g.insert_edge(c, l(7), a);
+        g
+    }
+
+    fn key(label: u32, child: &[u32], out: bool) -> SigKey {
+        SigKey {
+            label: l(label),
+            child_labels: LabelSet::from_iter(child.iter().map(|&i| l(i))),
+            out,
+        }
+    }
+
+    #[test]
+    fn acquire_builds_sorted_filtered_runs() {
+        let g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        let out_b = idx.acquire(&g, key(7, &[1], true));
+        assert_eq!(idx.run(out_b, v(0)), &[v(1), v(2)], "both B-labeled targets");
+        assert_eq!(idx.run(out_b, v(1)), &[] as &[VertexId]);
+        assert_eq!(idx.run(out_b, v(9)), &[] as &[VertexId], "past-the-end parent");
+
+        let out_c = idx.acquire(&g, key(7, &[2], true));
+        assert_eq!(idx.run(out_c, v(0)), &[v(2)], "label filter applied");
+
+        let in_a = idx.acquire(&g, key(7, &[0], false));
+        assert_eq!(idx.run(in_a, v(1)), &[v(0)], "reverse orientation");
+        assert_eq!(idx.run(in_a, v(2)), &[v(0)]);
+        assert_eq!(idx.run(in_a, v(0)), &[] as &[VertexId], "c:{{B,C}} fails the A filter");
+        assert_eq!(idx.signature_count(), 3);
+    }
+
+    #[test]
+    fn refcounting_shares_and_recycles() {
+        let g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        let a = idx.acquire(&g, key(7, &[1], true));
+        let b = idx.acquire(&g, key(7, &[1], true));
+        assert_eq!(a, b, "same key shares one signature");
+        assert_eq!(idx.signature_count(), 1);
+        idx.release(a);
+        assert_eq!(idx.signature_count(), 1, "still referenced");
+        idx.release(b);
+        assert_eq!(idx.signature_count(), 0);
+        // The freed slot is recycled for the next distinct key.
+        let c = idx.acquire(&g, key(8, &[1], true));
+        assert_eq!(c, a, "slot recycled");
+        assert_eq!(idx.run(c, v(0)), &[v(1)]);
+    }
+
+    #[test]
+    fn incremental_equals_rebuilt() {
+        let mut g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        let keys = [key(7, &[1], true), key(7, &[2], true), key(7, &[], false), key(8, &[1], true)];
+        let ids: Vec<u32> = keys.iter().map(|k| idx.acquire(&g, k.clone())).collect();
+
+        let d = g.add_vertex(LabelSet::single(l(1)));
+        g.insert_edge(v(0), l(7), d);
+        idx.insert_edge(&g, v(0), l(7), d);
+        idx.delete_edge(v(0), l(7), v(1));
+        g.delete_edge(v(0), l(7), v(1));
+        idx.delete_edge(v(9), l(7), v(1)); // absent edge: no-op
+        idx.delete_edge(v(0), l(99), v(1)); // unindexed label: no-op
+
+        let mut fresh = SharedCandidateIndex::new();
+        let fresh_ids: Vec<u32> = keys.iter().map(|k| fresh.acquire(&g, k.clone())).collect();
+        for (&id, &fid) in ids.iter().zip(&fresh_ids) {
+            for p in 0..g.vertex_count() as u32 {
+                assert_eq!(idx.run(id, v(p)), fresh.run(fid, v(p)), "sig {id} parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_label_filter_excludes_at_insert() {
+        let mut g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        let id = idx.acquire(&g, key(7, &[2], true));
+        let d = g.add_vertex(LabelSet::single(l(1))); // B, not C
+        g.insert_edge(v(0), l(7), d);
+        idx.insert_edge(&g, v(0), l(7), d);
+        assert_eq!(idx.run(id, v(0)), &[v(2)], "non-matching candidate filtered");
+        // Deleting the filtered-out edge is a no-op, not an underflow.
+        idx.delete_edge(v(0), l(7), d);
+        assert_eq!(idx.run(id, v(0)), &[v(2)]);
+    }
+}

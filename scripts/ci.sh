@@ -43,6 +43,17 @@ echo "=== window_churn (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench window_churn
 
+echo "=== fleet shared-index / routing (quick) ==="
+# The overlap group self-checks that the shared candidate index is hit and
+# that shared/naive emit identical delta counts; the disjoint group
+# self-checks that label routing skips uninterested engines. Two filtered
+# invocations: an unfiltered run would also pay for the slow random-query
+# fleet_throughput groups.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_shared
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_routing
+
 echo "=== motif (quick) ==="
 # Asserts PivotScan and Intersect count the same motifs before timing, and
 # exercises the merge/gallop/SIMD intersection kernels under release.
@@ -59,6 +70,19 @@ deltas=$(target/release/tfx stream \
   | grep -c '"type":"delta"')
 if [ "$deltas" != "4" ]; then
   echo "tfx stream smoke: expected 4 deltas, got $deltas" >&2
+  exit 1
+fi
+
+echo "=== tfx fleet smoke ==="
+# Two-query fleet where the second query's edge label (`follows`) never
+# appears in the stream: the fleet routing table must skip that engine for
+# every edge op, and the CLI must report it in the fleet_stats line.
+skipped=$(target/release/tfx stream \
+  --query testdata/demo_query.txt --query testdata/demo_query_disjoint.txt \
+  --graph testdata/demo_graph.txt --file testdata/demo_stream.txt --fleet 2 \
+  | grep -o '"ops_skipped":[0-9]*' | head -n1 | cut -d: -f2)
+if [ -z "$skipped" ] || [ "$skipped" -eq 0 ]; then
+  echo "tfx fleet smoke: expected ops_skipped > 0, got '${skipped:-no fleet_stats line}'" >&2
   exit 1
 fi
 

@@ -401,14 +401,14 @@ fn parse_stream_args(args: &[String]) -> Result<StreamOptions, ExitCode> {
 /// The evaluation target: one engine or a fleet.
 enum Target {
     Single(Box<TurboFlux>),
-    Fleet(Fleet),
+    Fleet(Box<Fleet>),
 }
 
 impl Target {
     fn as_batch_target(&mut self) -> &mut dyn BatchTarget {
         match self {
             Target::Single(e) => &mut **e,
-            Target::Fleet(f) => f,
+            Target::Fleet(f) => &mut **f,
         }
     }
 }
@@ -472,12 +472,12 @@ fn stream_main(args: &[String]) -> ExitCode {
         for q in queries {
             fleet.register(q, cfg);
         }
-        for id in 0..fleet.engine_count() {
+        for id in fleet.engine_ids().to_vec() {
             let mut n = 0u64;
             fleet.report_initial(id, &mut |_| n += 1);
             let _ = writeln!(out, "{{\"type\":\"init\",\"engine\":{id},\"matches\":{n}}}");
         }
-        Target::Fleet(fleet)
+        Target::Fleet(Box::new(fleet))
     } else {
         let q = queries.into_iter().next().expect("at least one query");
         let mut engine = TurboFlux::new(q, g0, cfg);
@@ -533,6 +533,14 @@ fn stream_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Multi-query fleets report their routing / shared-index counters.
+    if let Some(s) = target.as_batch_target().fleet_stats() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"fleet_stats\",\"ops_routed\":{},\"ops_skipped\":{},\"shared_hits\":{},\"shared_misses\":{}}}",
+            s.ops_routed, s.ops_skipped, s.shared_hits, s.shared_misses
+        );
+    }
     let _ = out.flush();
     eprintln!(
         "processed {} events -> {} ops in {} batches ({} expiry deletes) in {:.2?}: {} positive, {} negative; window live {}",

@@ -1,0 +1,251 @@
+//! Randomized byte-equality oracle for fleet-level multi-query
+//! optimization (op routing + shared candidate index + deregistration).
+//!
+//! Each scenario registers K random queries over a random initial graph,
+//! applies a first op batch, deregisters one engine, registers a fresh
+//! query mid-stream, and applies a second batch. The emitted delta
+//! sequence — under 1 and 4 threads, parallel and sequential, shared index
+//! on and off — must be byte-identical to naive per-engine replay:
+//! standalone [`TurboFlux`] engines applying the same ops one at a time,
+//! with the deregistered engine silent in batch 2 and the late engine
+//! starting from the registration-time graph state. Ops are drawn from a
+//! label palette wider than any query's so routing provably skips engines
+//! (`ops_skipped > 0` asserted across the run), and query shapes are deep
+//! enough for the shared index to serve runs (`shared_hits > 0`).
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+use turboflux::FleetDelta;
+
+type Delta = (usize, usize, Positiveness, MatchRecord);
+
+/// A random tree-shaped query: 2 vertex labels, edge labels 10..=12 with an
+/// occasional wildcard. Chains (parent = previous vertex) are common, so
+/// many queries share deep signatures.
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = if rng.below(2) == 0 { child - 1 } else { rng.below(child as usize) as u32 };
+        let label = if rng.below(8) == 0 { None } else { Some(LabelId(10 + rng.below(3) as u32)) };
+        let (s, d) = if rng.below(4) == 0 { (child, parent) } else { (parent, child) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    queries: Vec<QueryGraph>,
+    /// Registered against the post-batch-1 graph.
+    late_query: QueryGraph,
+    /// Deregistered between the batches.
+    victim: usize,
+    ops1: Vec<UpdateOp>,
+    ops2: Vec<UpdateOp>,
+}
+
+/// Ops use edge labels 10..=14 while queries only mention 10..=12: labels
+/// 13/14 interest no engine (except wildcards), so routing must skip.
+fn random_ops(
+    rng: &mut Pcg32,
+    n: usize,
+    vertices: &mut u32,
+    live: &mut Vec<(VertexId, LabelId, VertexId)>,
+) -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for _ in 0..n {
+        match rng.below(10) {
+            0 => {
+                ops.push(UpdateOp::AddVertex {
+                    id: VertexId(*vertices),
+                    labels: LabelSet::single(LabelId(rng.below(2) as u32)),
+                });
+                *vertices += 1;
+            }
+            1 => {
+                // Insert touching a brand-new (implicitly created) vertex.
+                let a = VertexId(rng.below(*vertices as usize) as u32);
+                let b = VertexId(*vertices);
+                *vertices += 1;
+                let l = LabelId(10 + rng.below(5) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+            2..=4 if !live.is_empty() => {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            }
+            _ => {
+                let a = VertexId(rng.below(*vertices as usize) as u32);
+                let b = VertexId(rng.below(*vertices as usize) as u32);
+                let l = LabelId(10 + rng.below(5) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b)); // duplicates allowed: exercises skips
+            }
+        }
+    }
+    ops
+}
+
+fn random_scenario(rng: &mut Pcg32) -> Scenario {
+    let nv = 4 + rng.below(4) as u32;
+    let mut g = DynamicGraph::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for _ in 0..(3 + rng.below(6)) {
+        let a = VertexId(rng.below(nv as usize) as u32);
+        let b = VertexId(rng.below(nv as usize) as u32);
+        g.insert_edge(a, LabelId(10 + rng.below(3) as u32), b);
+    }
+
+    let nqueries = 2 + rng.below(3); // 2..=4 engines
+    let queries: Vec<QueryGraph> = (0..nqueries)
+        .map(|_| {
+            let nq = 2 + rng.below(4) as u32;
+            random_query(rng, nq)
+        })
+        .collect();
+    let late_nq = 2 + rng.below(3) as u32;
+    let late_query = random_query(rng, late_nq);
+    let victim = rng.below(nqueries);
+
+    let mut vertices = nv;
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let n1 = 5 + rng.below(8);
+    let ops1 = random_ops(rng, n1, &mut vertices, &mut live);
+    let n2 = 5 + rng.below(8);
+    let ops2 = random_ops(rng, n2, &mut vertices, &mut live);
+    Scenario { g0: g, queries, late_query, victim, ops1, ops2 }
+}
+
+/// Naive per-engine replay: one standalone engine per query applying ops
+/// one at a time; the victim stops after batch 1, the late engine starts
+/// from `g_mid` (the graph state at its registration). Returns the two
+/// per-batch delta sequences, each in `(engine id, op_index)` order.
+fn standalone_deltas(
+    s: &Scenario,
+    cfg: &TurboFluxConfig,
+    g_mid: &DynamicGraph,
+) -> (Vec<Delta>, Vec<Delta>) {
+    let mut batch1 = Vec::new();
+    let mut batch2 = Vec::new();
+    for (id, q) in s.queries.iter().enumerate() {
+        let mut engine = TurboFlux::new(q.clone(), s.g0.clone(), *cfg);
+        for (op_index, op) in s.ops1.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| batch1.push((id, op_index, p, r.clone())));
+        }
+        if id == s.victim {
+            continue;
+        }
+        for (op_index, op) in s.ops2.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| batch2.push((id, op_index, p, r.clone())));
+        }
+    }
+    // The late engine's stable id follows the initially issued ones.
+    let late_id = s.queries.len();
+    let mut engine = TurboFlux::new(s.late_query.clone(), g_mid.clone(), *cfg);
+    for (op_index, op) in s.ops2.iter().enumerate() {
+        engine.apply_op(op, &mut |p, r| batch2.push((late_id, op_index, p, r.clone())));
+    }
+    (batch1, batch2)
+}
+
+/// Runs the full scenario on one fleet configuration; returns the two
+/// batches' delta sequences plus the fleet's final stats.
+fn fleet_deltas(
+    s: &Scenario,
+    cfg: &TurboFluxConfig,
+    threads: usize,
+    parallel: bool,
+) -> (Vec<Delta>, Vec<Delta>, turboflux::FleetStats, DynamicGraph) {
+    let mut fleet = Fleet::with_threads(s.g0.clone(), threads);
+    let mut ids = Vec::new();
+    for q in &s.queries {
+        ids.push(fleet.register(q.clone(), *cfg));
+    }
+    let collect = |fleet: &mut Fleet, ops: &[UpdateOp], parallel: bool| {
+        let mut out: Vec<Delta> = Vec::new();
+        let mut sink = |d: FleetDelta<'_>| {
+            out.push((d.engine, d.op_index, d.positiveness, d.record.clone()));
+        };
+        if parallel {
+            fleet.apply_batch(ops, &mut sink);
+        } else {
+            fleet.apply_batch_sequential(ops, &mut sink);
+        }
+        out
+    };
+    let batch1 = collect(&mut fleet, &s.ops1, parallel);
+    let g_mid = fleet.graph().clone();
+    assert!(fleet.deregister(ids[s.victim]));
+    let late_id = fleet.register(s.late_query.clone(), *cfg);
+    assert_eq!(late_id, s.queries.len(), "stable ids continue past deregistration");
+    let batch2 = collect(&mut fleet, &s.ops2, parallel);
+    let stats = fleet.stats();
+    (batch1, batch2, stats, g_mid)
+}
+
+fn run(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    let shared_on = TurboFluxConfig { semantics, ..TurboFluxConfig::default() };
+    let shared_off = TurboFluxConfig { fleet_shared_index: false, ..shared_on };
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    let (mut skipped_total, mut hits_total) = (0u64, 0u64);
+    for _ in 0..40 {
+        let s = random_scenario(&mut rng);
+        let valid = |q: &QueryGraph| q.edge_count() > 0 && q.is_connected();
+        if !s.queries.iter().all(valid) || !valid(&s.late_query) {
+            continue;
+        }
+        exercised += 1;
+        // Reference run (sequential, shared on) also yields the graph state
+        // at the late engine's registration, which the oracle needs.
+        let (f1, f2, stats, g_mid) = fleet_deltas(&s, &shared_on, 1, false);
+        let (want1, want2) = standalone_deltas(&s, &shared_on, &g_mid);
+        assert_eq!(f1, want1, "sequential shared fleet != naive replay (batch 1)");
+        assert_eq!(f2, want2, "sequential shared fleet != naive replay (batch 2)");
+        skipped_total += stats.ops_skipped;
+        hits_total += stats.shared_hits;
+
+        for (cfg, threads, parallel, what) in [
+            (&shared_on, 4, true, "parallel shared"),
+            (&shared_off, 1, false, "sequential unshared"),
+            (&shared_off, 4, true, "parallel unshared"),
+        ] {
+            let (b1, b2, st, _) = fleet_deltas(&s, cfg, threads, parallel);
+            assert_eq!(b1, want1, "{what} fleet != naive replay (batch 1)");
+            assert_eq!(b2, want2, "{what} fleet != naive replay (batch 2)");
+            if !cfg.fleet_shared_index {
+                assert_eq!(st.shared_hits, 0, "{what}: flag off must not consult the index");
+            }
+            skipped_total += st.ops_skipped;
+        }
+        if !want1.is_empty() || !want2.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 15, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 5, "only {nonempty} scenarios produced matches");
+    assert!(skipped_total > 0, "routing never skipped an engine (vacuous)");
+    assert!(hits_total > 0, "shared index never served a run (vacuous)");
+}
+
+#[test]
+fn routed_fleet_matches_naive_replay_homomorphism() {
+    run(0x0007_F10C5, MatchSemantics::Homomorphism);
+}
+
+#[test]
+fn routed_fleet_matches_naive_replay_isomorphism() {
+    run(0x0150_F10C5, MatchSemantics::Isomorphism);
+}
