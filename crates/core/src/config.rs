@@ -52,6 +52,13 @@ pub struct TurboFluxConfig {
     /// this is the multi-query-optimization ablation switch. Ignored by
     /// standalone engines.
     pub fleet_shared_index: bool,
+    /// Shard count for the sharded execution runtime
+    /// ([`crate::shard::ShardedEngine`]): data-graph vertices are
+    /// hash-partitioned across this many worker shards, each maintaining a
+    /// partition-local graph and DCG slice. `1` (the default) keeps the
+    /// classic single-slice engine. Only consulted by the sharded runtime —
+    /// standalone engines and fleets ignore it.
+    pub shards: usize,
 }
 
 impl Default for TurboFluxConfig {
@@ -66,6 +73,7 @@ impl Default for TurboFluxConfig {
             parallel_workers: 0,
             parallel_min_frontier: 64,
             fleet_shared_index: true,
+            shards: 1,
         }
     }
 }
@@ -101,6 +109,7 @@ mod tests {
         assert_eq!(c.parallel_workers, 0, "auto-sized by default");
         assert!(c.parallel_min_frontier > 1, "small updates stay sequential");
         assert!(c.fleet_shared_index, "shared candidate index on by default");
+        assert_eq!(c.shards, 1, "unsharded by default");
         assert_eq!(c.adjacency_mode(), AdjacencyMode::Indexed);
         let flat = TurboFluxConfig { label_indexed_adjacency: false, ..c };
         assert_eq!(flat.adjacency_mode(), AdjacencyMode::FlatScan);

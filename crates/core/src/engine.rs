@@ -22,7 +22,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use rustc_hash::FxHashMap;
-use tfx_graph::{DynamicGraph, GraphStats, LabelId, LabelSet, UpdateOp, VertexId};
+use tfx_graph::{
+    shard_of, DynamicGraph, GraphStats, GraphView, LabelId, LabelSet, UpdateOp, VertexId,
+};
 use tfx_query::{
     choose_start_vertex, ContinuousMatcher, EdgeId, MatchRecord, MatchSemantics, Positiveness,
     QVertexId, QueryGraph, QueryTree,
@@ -98,6 +100,12 @@ pub struct TurboFlux {
     pub(crate) deadline_tick: AtomicU32,
     /// Latched once the deadline passed; the engine stops enumerating.
     pub(crate) deadline_hit: AtomicBool,
+    /// `(shard, shards)` when this engine is one slice of a
+    /// [`crate::shard::ShardedEngine`]: root candidates are registered only
+    /// for data vertices this shard owns, so the engine maintains exactly
+    /// the restriction of the global DCG to the downward closure of its
+    /// owned roots. `None` for unsharded engines (own everything).
+    pub(crate) partition: Option<(u32, u32)>,
 }
 
 impl TurboFlux {
@@ -121,6 +129,31 @@ impl TurboFlux {
     ///
     /// Panics if `q` is empty, disconnected, or has more than 64 vertices.
     pub fn register(q: QueryGraph, g0: &DynamicGraph, cfg: TurboFluxConfig) -> Self {
+        Self::register_inner(q, g0, cfg, None)
+    }
+
+    /// [`TurboFlux::register`] for one shard slice of a
+    /// [`crate::shard::ShardedEngine`]: query analysis (start vertex, tree,
+    /// matching order inputs) runs against the *full* initial graph — so
+    /// every shard derives the identical plan — but only root candidates
+    /// with `shard_of(v, shards) == shard` are registered, giving this
+    /// engine the partition-local DCG slice.
+    pub(crate) fn register_partitioned(
+        q: QueryGraph,
+        g0: &DynamicGraph,
+        cfg: TurboFluxConfig,
+        shard: u32,
+        shards: u32,
+    ) -> Self {
+        Self::register_inner(q, g0, cfg, Some((shard, shards)))
+    }
+
+    fn register_inner(
+        q: QueryGraph,
+        g0: &DynamicGraph,
+        cfg: TurboFluxConfig,
+        partition: Option<(u32, u32)>,
+    ) -> Self {
         assert!(q.edge_count() > 0, "query must have at least one edge");
         assert!(q.is_connected(), "query must be connected");
         let stats = GraphStats::new(g0);
@@ -171,6 +204,7 @@ impl TurboFlux {
             deadline: None,
             deadline_tick: AtomicU32::new(0),
             deadline_hit: AtomicBool::new(false),
+            partition,
             g: DynamicGraph::default(),
             q,
             tree,
@@ -180,7 +214,7 @@ impl TurboFlux {
         // every matching data vertex (Algorithm 2, lines 4–5).
         let mut scratch = std::mem::take(&mut engine.scratch);
         for v in g0.vertices() {
-            if engine.q.labels(us).is_subset_of(g0.labels(v)) {
+            if engine.owns_root(v) && engine.q.labels(us).is_subset_of(g0.labels(v)) {
                 engine.build_dcg(g0, None, None, us, v, &mut scratch);
             }
         }
@@ -283,6 +317,16 @@ impl TurboFlux {
         self.dcg.expl_out_bits(v) & mask == mask
     }
 
+    /// Whether this engine registers root candidates for data vertex `v`
+    /// (always, unless partitioned — then only for owned vertices).
+    #[inline]
+    pub(crate) fn owns_root(&self, v: VertexId) -> bool {
+        match self.partition {
+            None => true,
+            Some((shard, shards)) => shard_of(v, shards) == shard,
+        }
+    }
+
     /// The shared-candidate signature of `u`'s tree edge, if that edge is
     /// shareable across queries: a concrete edge label plus `u`'s label set
     /// and the edge's orientation pin down the exact candidate filter (the
@@ -304,9 +348,9 @@ impl TurboFlux {
     /// With `shared` set (fleet mode), child candidates of tree edges bound
     /// to a shared signature are read from the fleet index instead of
     /// scanned privately — identical candidates in identical order.
-    pub(crate) fn build_dcg(
+    pub(crate) fn build_dcg<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         shared: Option<&SharedCandidateIndex>,
         parent: Option<VertexId>,
         u: QVertexId,
@@ -411,13 +455,15 @@ impl TurboFlux {
     /// built from). When the explicit root-candidate set is wide enough
     /// the candidates are partitioned across worker threads ([`crate::parallel`]);
     /// emission order is the candidate (= vertex id) order either way.
-    pub fn initial_matches_in(&mut self, g: &DynamicGraph, sink: &mut dyn FnMut(&MatchRecord)) {
+    pub fn initial_matches_in<G: GraphView>(&mut self, g: &G, sink: &mut dyn FnMut(&MatchRecord)) {
         let us = self.tree.root();
         let ctx = crate::search::SearchCtx::initial();
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.kids.clear();
         scratch.kids.extend(
-            g.vertices().filter(|&vs| self.dcg.root_state(vs) == Some(EdgeState::Explicit)),
+            (0..g.vertex_count() as u32)
+                .map(VertexId)
+                .filter(|&vs| self.dcg.root_state(vs) == Some(EdgeState::Explicit)),
         );
         let workers = self.intra_workers();
         if workers > 1 && scratch.kids.len() >= self.cfg.parallel_min_frontier {
@@ -483,11 +529,14 @@ impl TurboFlux {
     /// created vertex matching `u_s` gets an implicit start edge — it
     /// cannot be explicit, since the root of a non-trivial query has
     /// children and a new vertex has no edges.
-    pub fn register_new_vertices(&mut self, g: &DynamicGraph, from: VertexId) {
+    pub fn register_new_vertices<G: GraphView>(&mut self, g: &G, from: VertexId) {
         let us = self.tree.root();
         for i in from.0..g.vertex_count() as u32 {
             let v = VertexId(i);
-            if self.q.labels(us).is_subset_of(g.labels(v)) && self.dcg.root_state(v).is_none() {
+            if self.owns_root(v)
+                && self.q.labels(us).is_subset_of(g.labels(v))
+                && self.dcg.root_state(v).is_none()
+            {
                 self.dcg.transit(None, us, v, Some(EdgeState::Implicit));
             }
         }
@@ -514,9 +563,9 @@ impl TurboFlux {
     /// (tree edges by ascending order key, then non-tree edges by ascending
     /// id). Only the label bucket built at registration (plus the
     /// label-wildcard edges) is inspected, not all of `E(q)`.
-    pub(crate) fn matching_query_edges(
+    pub(crate) fn matching_query_edges<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         src: VertexId,
         label: LabelId,
         dst: VertexId,

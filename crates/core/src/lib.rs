@@ -43,6 +43,7 @@ pub mod order;
 mod parallel;
 mod scratch;
 mod search;
+pub mod shard;
 pub mod shared_index;
 pub mod spec;
 pub mod tree_nav;
@@ -53,6 +54,7 @@ pub use engine::TurboFlux;
 pub use fleet::{Fleet, FleetDelta, FleetStats};
 pub use order::OrderMaintenance;
 pub use search::INTERSECT_MIN_FRONTIER;
+pub use shard::{ShardStats, ShardedEngine};
 pub use shared_index::{SharedCandidateIndex, SigKey};
 pub use spec::{reference_dcg, DcgImage};
 

@@ -7,8 +7,8 @@
 //! climbed edge only after its recursion returns, and `ClearDCG` runs after
 //! the negatives of its triggering edge were reported.
 
-use tfx_graph::{DynamicGraph, LabelId, VertexId};
-use tfx_query::{MatchRecord, Positiveness, QVertexId};
+use tfx_graph::{DynamicGraph, GraphView, LabelId, VertexId};
+use tfx_query::{EdgeId, MatchRecord, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
@@ -38,9 +38,9 @@ impl TurboFlux {
         self.maybe_adjust_order();
     }
 
-    fn delete_eval_with(
+    fn delete_eval_with<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         src: VertexId,
         label: LabelId,
         dst: VertexId,
@@ -52,52 +52,85 @@ impl TurboFlux {
 
         for i in 0..scratch.tree_edges.len() {
             let e = scratch.tree_edges[i];
-            // Surviving parallel support: the mapping set does not change
-            // via this query edge and the DCG edge stays backed.
-            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
-                continue;
-            }
-            let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
-            let up = self.tree.parent(uc).expect("tree edge child has a parent");
-            // Case 2 of Transition 0 — or an earlier tree-edge invocation
-            // of this same update already cascade-cleared the edge.
-            if self.dcg.in_count_total(pv, up) == 0 || self.dcg.state(pv, uc, cv).is_none() {
-                continue;
-            }
-            if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
-                && self.match_all_children(pv, up)
-            {
-                let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
-                scratch.bind(uc, cv);
-                self.clear_upwards(g, up, pv, Some(uc), &ctx, true, scratch, sink);
-                scratch.unbind(uc);
-            }
-            // Transitions 3/5 downward.
-            self.clear_dcg(Some(pv), uc, cv, scratch);
+            self.delete_tree_invocation(g, e, src, label, dst, scratch, sink);
         }
 
         for i in 0..scratch.non_tree.len() {
             let e = scratch.non_tree[i];
-            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
-                continue;
-            }
-            let qe = *self.q.edge(e);
-            if self.dcg.in_count_total(src, qe.src) == 0
-                || self.dcg.in_count_total(dst, qe.dst) == 0
-                || !self.match_all_children(src, qe.src)
-                || !self.match_all_children(dst, qe.dst)
-            {
-                continue;
-            }
+            self.delete_non_tree_invocation(g, e, src, label, dst, scratch, sink);
+        }
+    }
+
+    /// One tree-edge invocation of `DeleteEdgeAndEval` (factored out for
+    /// the sharded runtime, matching
+    /// [`TurboFlux::insert_tree_invocation`]). Reports the negatives that
+    /// need the still-intact DCG region, then cascade-clears it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn delete_tree_invocation<G: GraphView>(
+        &mut self,
+        g: &G,
+        e: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        // Surviving parallel support: the mapping set does not change
+        // via this query edge and the DCG edge stays backed.
+        if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            return;
+        }
+        let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
+        let up = self.tree.parent(uc).expect("tree edge child has a parent");
+        // Case 2 of Transition 0 — or an earlier tree-edge invocation
+        // of this same update already cascade-cleared the edge.
+        if self.dcg.in_count_total(pv, up) == 0 || self.dcg.state(pv, uc, cv).is_none() {
+            return;
+        }
+        if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
+            && self.match_all_children(pv, up)
+        {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
-            let looped = qe.src == qe.dst;
-            if !looped {
-                scratch.bind(qe.dst, dst);
-            }
-            self.clear_upwards(g, qe.src, src, None, &ctx, false, scratch, sink);
-            if !looped {
-                scratch.unbind(qe.dst);
-            }
+            scratch.bind(uc, cv);
+            self.clear_upwards(g, up, pv, Some(uc), &ctx, true, scratch, sink);
+            scratch.unbind(uc);
+        }
+        // Transitions 3/5 downward.
+        self.clear_dcg(Some(pv), uc, cv, scratch);
+    }
+
+    /// One non-tree invocation of `DeleteEdgeAndEval`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn delete_non_tree_invocation<G: GraphView>(
+        &mut self,
+        g: &G,
+        e: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            return;
+        }
+        let qe = *self.q.edge(e);
+        if self.dcg.in_count_total(src, qe.src) == 0
+            || self.dcg.in_count_total(dst, qe.dst) == 0
+            || !self.match_all_children(src, qe.src)
+            || !self.match_all_children(dst, qe.dst)
+        {
+            return;
+        }
+        let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Negative);
+        let looped = qe.src == qe.dst;
+        if !looped {
+            scratch.bind(qe.dst, dst);
+        }
+        self.clear_upwards(g, qe.src, src, None, &ctx, false, scratch, sink);
+        if !looped {
+            scratch.unbind(qe.dst);
         }
     }
 
@@ -107,9 +140,9 @@ impl TurboFlux {
     /// when `v` is about to lose its last explicit outgoing edge labeled
     /// `expiring_child`.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn clear_upwards(
+    pub(crate) fn clear_upwards<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         u: QVertexId,
         v: VertexId,
         expiring_child: Option<QVertexId>,

@@ -1,7 +1,7 @@
 //! `InsertEdgeAndEval` and `BuildUpwardsAndEval` (Algorithms 5 and 6).
 
-use tfx_graph::{DynamicGraph, LabelId, VertexId};
-use tfx_query::{MatchRecord, Positiveness, QVertexId};
+use tfx_graph::{DynamicGraph, GraphView, LabelId, VertexId};
+use tfx_query::{EdgeId, MatchRecord, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
 use crate::engine::TurboFlux;
@@ -33,9 +33,9 @@ impl TurboFlux {
     /// candidate index sourcing the DCG builds (see
     /// [`crate::shared_index`]); a [`crate::fleet::Fleet`] passes its index
     /// here, everyone else goes through the plain wrapper.
-    pub(crate) fn eval_inserted_edge_in(
+    pub(crate) fn eval_inserted_edge_in<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         shared: Option<&SharedCandidateIndex>,
         src: VertexId,
         label: LabelId,
@@ -49,9 +49,9 @@ impl TurboFlux {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn insert_eval_with(
+    fn insert_eval_with<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         shared: Option<&SharedCandidateIndex>,
         src: VertexId,
         label: LabelId,
@@ -64,60 +64,96 @@ impl TurboFlux {
 
         for i in 0..scratch.tree_edges.len() {
             let e = scratch.tree_edges[i];
-            // Pre-existing parallel support means the vertex-mapping set is
-            // unchanged via this query edge (Transition 0 analogue for
-            // multigraphs).
-            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
-                continue;
-            }
-            let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
-            let up = self.tree.parent(uc).expect("tree edge child has a parent");
-            // Case 2 of Transition 0: no path from a start vertex to pv.
-            if self.dcg.in_count_total(pv, up) == 0 {
-                continue;
-            }
-            // An earlier tree-edge invocation of this same update may have
-            // already built this DCG edge (the inserted edge can match
-            // several tree edges whose builds overlap).
-            if self.dcg.state(pv, uc, cv).is_none() {
-                self.build_dcg(g, shared, Some(pv), uc, cv, scratch);
-            }
-            if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
-                && self.match_all_children(pv, up)
-            {
-                let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
-                scratch.bind(uc, cv);
-                self.build_upwards(g, up, pv, &ctx, true, scratch, sink);
-                scratch.unbind(uc);
-            }
+            self.insert_tree_invocation(g, shared, e, src, label, dst, scratch, sink);
         }
 
         for i in 0..scratch.non_tree.len() {
             let e = scratch.non_tree[i];
-            if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
-                continue;
-            }
-            let qe = *self.q.edge(e);
-            // m(qe.src) = src, m(qe.dst) = dst; both endpoints need the
-            // path condition and fully matched subtrees.
-            if self.dcg.in_count_total(src, qe.src) == 0
-                || self.dcg.in_count_total(dst, qe.dst) == 0
-                || !self.match_all_children(src, qe.src)
-                || !self.match_all_children(dst, qe.dst)
-            {
-                continue;
-            }
+            self.insert_non_tree_invocation(g, e, src, label, dst, scratch, sink);
+        }
+    }
+
+    /// One tree-edge invocation of `InsertEdgeAndEval`: maintain the DCG
+    /// under the matched tree edge `e` and climb/search when the paper's
+    /// preconditions hold. Factored out so the sharded runtime can replay
+    /// individual invocations from its per-shard inbox in the same order
+    /// the unsharded loop runs them.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_tree_invocation<G: GraphView>(
+        &mut self,
+        g: &G,
+        shared: Option<&SharedCandidateIndex>,
+        e: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        // Pre-existing parallel support means the vertex-mapping set is
+        // unchanged via this query edge (Transition 0 analogue for
+        // multigraphs).
+        if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            return;
+        }
+        let (uc, pv, cv) = self.orient_tree_edge(e, src, dst);
+        let up = self.tree.parent(uc).expect("tree edge child has a parent");
+        // Case 2 of Transition 0: no path from a start vertex to pv.
+        if self.dcg.in_count_total(pv, up) == 0 {
+            return;
+        }
+        // An earlier tree-edge invocation of this same update may have
+        // already built this DCG edge (the inserted edge can match
+        // several tree edges whose builds overlap).
+        if self.dcg.state(pv, uc, cv).is_none() {
+            self.build_dcg(g, shared, Some(pv), uc, cv, scratch);
+        }
+        if self.dcg.state(pv, uc, cv) == Some(EdgeState::Explicit)
+            && self.match_all_children(pv, up)
+        {
             let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
-            let looped = qe.src == qe.dst;
-            if !looped {
-                scratch.bind(qe.dst, dst);
-            }
-            // Traverse upward from qe.src without modifying the DCG: a
-            // non-tree edge never changes intermediate results.
-            self.build_upwards(g, qe.src, src, &ctx, false, scratch, sink);
-            if !looped {
-                scratch.unbind(qe.dst);
-            }
+            scratch.bind(uc, cv);
+            self.build_upwards(g, up, pv, &ctx, true, scratch, sink);
+            scratch.unbind(uc);
+        }
+    }
+
+    /// One non-tree invocation of `InsertEdgeAndEval` (see
+    /// [`TurboFlux::insert_tree_invocation`] for why this is factored out).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_non_tree_invocation<G: GraphView>(
+        &mut self,
+        g: &G,
+        e: EdgeId,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+        scratch: &mut SearchScratch,
+        sink: &mut dyn FnMut(Positiveness, &MatchRecord),
+    ) {
+        if g.count_edges_matching(src, dst, self.q.edge(e).label) > 1 {
+            return;
+        }
+        let qe = *self.q.edge(e);
+        // m(qe.src) = src, m(qe.dst) = dst; both endpoints need the
+        // path condition and fully matched subtrees.
+        if self.dcg.in_count_total(src, qe.src) == 0
+            || self.dcg.in_count_total(dst, qe.dst) == 0
+            || !self.match_all_children(src, qe.src)
+            || !self.match_all_children(dst, qe.dst)
+        {
+            return;
+        }
+        let ctx = SearchCtx::update(e, src, label, dst, Positiveness::Positive);
+        let looped = qe.src == qe.dst;
+        if !looped {
+            scratch.bind(qe.dst, dst);
+        }
+        // Traverse upward from qe.src without modifying the DCG: a
+        // non-tree edge never changes intermediate results.
+        self.build_upwards(g, qe.src, src, &ctx, false, scratch, sink);
+        if !looped {
+            scratch.unbind(qe.dst);
         }
     }
 
@@ -128,9 +164,9 @@ impl TurboFlux {
     /// Precondition (established by every caller): all children of `u` have
     /// explicit outgoing edges from `v`.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn build_upwards(
+    pub(crate) fn build_upwards<G: GraphView>(
         &mut self,
-        g: &DynamicGraph,
+        g: &G,
         u: QVertexId,
         v: VertexId,
         ctx: &SearchCtx,

@@ -42,7 +42,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use tfx_graph::{DynamicGraph, VertexId};
+use tfx_graph::{GraphView, VertexId};
 use tfx_query::{MatchRecord, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
@@ -141,9 +141,9 @@ impl TurboFlux {
     /// worker threads when the engine is configured for it and the
     /// frontier is wide enough; falls back to the plain sequential search
     /// otherwise. Emission is byte-identical either way.
-    pub(crate) fn search_from_root(
+    pub(crate) fn search_from_root<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         scratch: &mut SearchScratch,
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
@@ -176,9 +176,9 @@ impl TurboFlux {
     /// then splits the explicit out-edge frontier of `(vp, u)` at `depth`
     /// across workers.
     #[allow(clippy::too_many_arguments)]
-    fn search_split(
+    fn search_split<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         depth: usize,
         u: QVertexId,
@@ -217,9 +217,9 @@ impl TurboFlux {
     /// Parallel initial reporting: splits the explicit root-candidate set
     /// across workers; each candidate's search runs exactly as in the
     /// sequential loop of [`TurboFlux::initial_matches_in`].
-    pub(crate) fn search_chunked_roots(
+    pub(crate) fn search_chunked_roots<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         candidates: &[VertexId],
         scratch: &mut SearchScratch,
@@ -242,9 +242,9 @@ impl TurboFlux {
     /// replays the buffers in chunk order into `sink`. Worker scratches
     /// are seeded from (and buffers replayed through) the driver's
     /// `scratch`.
-    fn fan_out(
+    fn fan_out<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         scratch: &mut SearchScratch,
         workers: usize,
         len: usize,

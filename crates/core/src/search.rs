@@ -22,7 +22,7 @@
 //! which is required for correctness when the updated edge matches several
 //! tree edges.
 
-use tfx_graph::{intersect_into, DynamicGraph, LabelId, VertexId};
+use tfx_graph::{intersect_into, GraphView, LabelId, VertexId};
 use tfx_query::{EdgeId, MatchRecord, MatchSemantics, Positiveness, QVertexId};
 
 use crate::dcg::EdgeState;
@@ -72,9 +72,9 @@ impl TurboFlux {
     /// updated data edge, `e` actually *uses* it (label match, no surviving
     /// parallel support), and `e` outranks / underranks the triggering edge
     /// `e_q` for an insertion / deletion respectively.
-    pub(crate) fn violates_order(
+    pub(crate) fn violates_order<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         e: EdgeId,
         src: VertexId,
@@ -107,9 +107,9 @@ impl TurboFlux {
     /// including the order rule above. The injectivity test is an O(1)
     /// lookup in the scratch's bound-vertex multiplicity map (maintained at
     /// bind/unbind) rather than a scan over the embedding.
-    pub(crate) fn is_joinable(
+    pub(crate) fn is_joinable<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         u: QVertexId,
         v: VertexId,
@@ -146,9 +146,9 @@ impl TurboFlux {
 
     /// Validates the tree edge binding `u → v` (given `m(P(u)) = vp`):
     /// explicit DCG state plus the duplicate-prevention order rule.
-    pub(crate) fn tree_binding_ok(
+    pub(crate) fn tree_binding_ok<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         u: QVertexId,
         vp: VertexId,
@@ -165,9 +165,9 @@ impl TurboFlux {
     /// `SubgraphSearch` (Algorithm 7). `scratch.m` must have the starting
     /// query vertex bound; `scratch.rec` is reused across reports. Reports
     /// `(ctx.p, record)` for every complete solution.
-    pub(crate) fn subgraph_search(
+    pub(crate) fn subgraph_search<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         depth: usize,
         ctx: &SearchCtx,
         scratch: &mut SearchScratch,
@@ -240,9 +240,9 @@ impl TurboFlux {
     /// duplicate-free, so survivors keep the enumeration order of the plain
     /// loop.
     #[allow(clippy::too_many_arguments)]
-    fn search_intersected(
+    fn search_intersected<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         depth: usize,
         u: QVertexId,
@@ -316,9 +316,9 @@ impl TurboFlux {
     /// parallel chunk workers (`parallel.rs`), which is what guarantees the
     /// two paths accept and order candidates identically.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn expand_candidate(
+    pub(crate) fn expand_candidate<G: GraphView>(
         &self,
-        g: &DynamicGraph,
+        g: &G,
         ctx: &SearchCtx,
         depth: usize,
         u: QVertexId,

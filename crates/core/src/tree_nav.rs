@@ -13,7 +13,7 @@
 //! the pre-index full-list filter as an ablation baseline; both modes yield
 //! the same candidates in the same `(label, neighbor)` order.
 
-use tfx_graph::{AdjacencyMode, DynamicGraph, VertexId};
+use tfx_graph::{AdjacencyMode, GraphView, VertexId};
 use tfx_query::{QVertexId, QueryGraph, QueryTree};
 
 use crate::shared_index::SharedCandidateIndex;
@@ -35,8 +35,8 @@ pub fn data_pair(
 
 /// True iff some live data edge backs the DCG edge `(pv, u, cv)` (labels of
 /// both endpoints and of the edge itself all match).
-pub fn tree_edge_supported(
-    g: &DynamicGraph,
+pub fn tree_edge_supported<G: GraphView>(
+    g: &G,
     q: &QueryGraph,
     tree: &QueryTree,
     u: QVertexId,
@@ -57,8 +57,8 @@ pub fn tree_edge_supported(
 /// Calls `f` with every data vertex `cv` such that the DCG edge
 /// `(pv, u, cv)` is backed by a live data edge. May report a `cv` more than
 /// once if parallel data edges match (callers tolerate or dedup).
-pub fn for_each_child_candidate(
-    g: &DynamicGraph,
+pub fn for_each_child_candidate<G: GraphView>(
+    g: &G,
     q: &QueryGraph,
     tree: &QueryTree,
     u: QVertexId,
@@ -98,8 +98,8 @@ pub fn for_each_child_candidate(
 /// `buf` is a segmented scratch stack: callers iterate `buf[start..]` by
 /// index and truncate back to `start` when done, so recursive use never
 /// allocates once the stack's high-water capacity is reached.
-pub fn collect_child_candidates(
-    g: &DynamicGraph,
+pub fn collect_child_candidates<G: GraphView>(
+    g: &G,
     q: &QueryGraph,
     tree: &QueryTree,
     u: QVertexId,
@@ -159,8 +159,8 @@ pub fn collect_child_candidates(
 /// what [`collect_child_candidates`] would have produced — asserted in
 /// debug builds.
 #[allow(clippy::too_many_arguments)]
-pub fn collect_shared_child_candidates(
-    g: &DynamicGraph,
+pub fn collect_shared_child_candidates<G: GraphView>(
+    g: &G,
     q: &QueryGraph,
     tree: &QueryTree,
     shared: &SharedCandidateIndex,
@@ -193,8 +193,8 @@ pub fn collect_shared_child_candidates(
 /// Calls `f` with every data vertex `pv` such that the DCG edge
 /// `(pv, u, cv)` is backed by a live data edge (the upward analogue of
 /// [`for_each_child_candidate`]).
-pub fn for_each_parent_candidate(
-    g: &DynamicGraph,
+pub fn for_each_parent_candidate<G: GraphView>(
+    g: &G,
     q: &QueryGraph,
     tree: &QueryTree,
     u: QVertexId,
@@ -230,7 +230,7 @@ pub fn for_each_parent_candidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tfx_graph::{GraphStats, LabelId, LabelSet};
+    use tfx_graph::{DynamicGraph, GraphStats, LabelId, LabelSet};
 
     fn l(i: u32) -> LabelId {
         LabelId(i)

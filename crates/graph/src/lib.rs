@@ -26,8 +26,10 @@ pub mod dynamic_graph;
 pub mod ids;
 pub mod intersect;
 pub mod labels;
+pub mod sharded;
 pub mod stats;
 pub mod stream;
+pub mod view;
 
 pub use adjacency::{
     AdjacencyMode, LabeledNeighbors, MatchingNeighbors, Neighbors, DIVERSE_LABELS, PROMOTE_DEGREE,
@@ -37,5 +39,7 @@ pub use dynamic_graph::{DynamicGraph, EdgeRef};
 pub use ids::{LabelId, VertexId};
 pub use intersect::{contains_sorted, intersect_into, GALLOP_RATIO};
 pub use labels::{LabelInterner, LabelSet};
+pub use sharded::{shard_of, ShardView, ShardedGraph};
 pub use stats::GraphStats;
 pub use stream::{UpdateOp, UpdateStream};
+pub use view::GraphView;

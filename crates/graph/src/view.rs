@@ -1,0 +1,100 @@
+//! Read-only graph abstraction over which the matching engine's
+//! evaluation path is generic.
+//!
+//! The engine's DCG maintenance and match enumeration only ever *read*
+//! the data graph, and only through a small surface: vertex labels,
+//! edge-existence probes, and label-filtered adjacency runs. Abstracting
+//! that surface behind [`GraphView`] lets the same monomorphized code run
+//! against a single [`DynamicGraph`] (the unsharded engine; the impl is
+//! pure inline delegation, so there is no indirection cost) or against a
+//! [`crate::ShardView`] that routes each read to the partition slice
+//! owning the queried endpoint.
+
+use crate::adjacency::{AdjacencyMode, LabeledNeighbors, MatchingNeighbors};
+use crate::dynamic_graph::DynamicGraph;
+use crate::ids::{LabelId, VertexId};
+use crate::labels::LabelSet;
+
+/// Read-only view of a data graph, sufficient for DCG maintenance and
+/// match enumeration. `Sync` so scoped enumeration workers can share one
+/// view by reference.
+pub trait GraphView: Sync {
+    /// Labels of vertex `v`.
+    fn labels(&self, v: VertexId) -> &LabelSet;
+    /// Number of vertex slots (vertex ids are dense `0..vertex_count`).
+    fn vertex_count(&self) -> usize;
+    /// True iff an edge `src → dst` matching the optional query label exists.
+    fn has_edge_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> bool;
+    /// Number of parallel `src → dst` edges matching the query label.
+    fn count_edges_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> usize;
+    /// Out-neighbors of `v` over edges labeled exactly `label`.
+    fn out_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_>;
+    /// In-neighbors of `v` over edges labeled exactly `label`.
+    fn in_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_>;
+    /// Out-neighbors of `v` matching an optional query-edge label.
+    fn out_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_>;
+    /// In-neighbors of `v` matching an optional query-edge label.
+    fn in_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_>;
+}
+
+impl GraphView for DynamicGraph {
+    #[inline]
+    fn labels(&self, v: VertexId) -> &LabelSet {
+        DynamicGraph::labels(self, v)
+    }
+
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        DynamicGraph::vertex_count(self)
+    }
+
+    #[inline]
+    fn has_edge_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> bool {
+        DynamicGraph::has_edge_matching(self, src, dst, qlabel)
+    }
+
+    #[inline]
+    fn count_edges_matching(&self, src: VertexId, dst: VertexId, qlabel: Option<LabelId>) -> usize {
+        DynamicGraph::count_edges_matching(self, src, dst, qlabel)
+    }
+
+    #[inline]
+    fn out_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_> {
+        DynamicGraph::out_neighbors_labeled(self, v, label)
+    }
+
+    #[inline]
+    fn in_neighbors_labeled(&self, v: VertexId, label: LabelId) -> LabeledNeighbors<'_> {
+        DynamicGraph::in_neighbors_labeled(self, v, label)
+    }
+
+    #[inline]
+    fn out_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_> {
+        DynamicGraph::out_neighbors_matching(self, v, qlabel, mode)
+    }
+
+    #[inline]
+    fn in_neighbors_matching(
+        &self,
+        v: VertexId,
+        qlabel: Option<LabelId>,
+        mode: AdjacencyMode,
+    ) -> MatchingNeighbors<'_> {
+        DynamicGraph::in_neighbors_matching(self, v, qlabel, mode)
+    }
+}

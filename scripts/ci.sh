@@ -73,6 +73,37 @@ if [ "$deltas" != "4" ]; then
   exit 1
 fi
 
+echo "=== tfx sharded smoke ==="
+# The sharded runtime's determinism contract, end to end through the CLI:
+# for the demo trio, --shards 2 must emit byte-identical init/delta lines
+# to --shards 1 (the unsharded target), and must report a shard_stats
+# line with live cross-shard traffic.
+tmp_shard="$(mktemp -d)"
+trap 'rm -rf "$tmp_shard"' EXIT
+for case in \
+  "demo_query --graph testdata/demo_graph.txt --file testdata/demo_stream.txt" \
+  "demo_query_disjoint --graph testdata/demo_graph.txt --file testdata/demo_stream.txt" \
+  "netflow_query --synthetic netflow --window count:1000"; do
+  name="${case%% *}"
+  args="${case#* }"
+  for s in 1 2; do
+    # shellcheck disable=SC2086
+    target/release/tfx stream --query "testdata/${name}.txt" $args --shards "$s" \
+      | grep -E '"type":"(init|delta)"' > "$tmp_shard/${name}_${s}.txt"
+  done
+  if ! cmp -s "$tmp_shard/${name}_1.txt" "$tmp_shard/${name}_2.txt"; then
+    echo "tfx sharded smoke: ${name}: --shards 2 deltas differ from --shards 1" >&2
+    exit 1
+  fi
+done
+crossed=$(target/release/tfx stream \
+  --query testdata/netflow_query.txt --synthetic netflow --window count:1000 --shards 2 \
+  | grep -o '"cross_shard_edges":[0-9]*' | head -n1 | cut -d: -f2)
+if [ -z "$crossed" ] || [ "$crossed" -eq 0 ]; then
+  echo "tfx sharded smoke: expected cross_shard_edges > 0, got '${crossed:-no shard_stats line}'" >&2
+  exit 1
+fi
+
 echo "=== tfx fleet smoke ==="
 # Two-query fleet where the second query's edge label (`follows`) never
 # appears in the stream: the fleet routing table must skip that engine for

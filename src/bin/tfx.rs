@@ -249,6 +249,7 @@ fn stream_usage(code: u8) -> ExitCode {
                   [--iso]                    isomorphism semantics (default homomorphism)
                   [--lenient]                skip malformed stream lines (default strict)
                   [--fleet <threads>]        evaluate queries on a fleet with N threads
+                  [--shards <N>]             partition the data graph across N shards
                   [--seed <S>]               synthetic generator seed (default 2018)
                   [--ticks-per-event <T>]    synthetic clock rate (default 1)
                   [--quiet]                  suppress JSONL deltas, keep counts
@@ -270,6 +271,7 @@ struct StreamOptions {
     semantics: MatchSemantics,
     mode: ErrorMode,
     fleet_threads: Option<usize>,
+    shards: usize,
     seed: u64,
     ticks_per_event: u64,
     quiet: bool,
@@ -288,6 +290,7 @@ fn parse_stream_args(args: &[String]) -> Result<StreamOptions, ExitCode> {
         semantics: MatchSemantics::Homomorphism,
         mode: ErrorMode::Strict,
         fleet_threads: None,
+        shards: 1,
         seed: 2018,
         ticks_per_event: 1,
         quiet: false,
@@ -353,6 +356,16 @@ fn parse_stream_args(args: &[String]) -> Result<StreamOptions, ExitCode> {
                     }
                 }
             }
+            "--shards" => {
+                let v = value(&mut args, "--shards")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => o.shards = n,
+                    _ => {
+                        eprintln!("error: --shards needs a shard count >= 1");
+                        return Err(stream_usage(2));
+                    }
+                }
+            }
             "--seed" => {
                 let v = value(&mut args, "--seed")?;
                 match v.parse::<u64>() {
@@ -398,10 +411,11 @@ fn parse_stream_args(args: &[String]) -> Result<StreamOptions, ExitCode> {
     }
 }
 
-/// The evaluation target: one engine or a fleet.
+/// The evaluation target: one engine, a fleet, or a sharded runtime.
 enum Target {
     Single(Box<TurboFlux>),
     Fleet(Box<Fleet>),
+    Sharded(Box<ShardedEngine>),
 }
 
 impl Target {
@@ -409,6 +423,7 @@ impl Target {
         match self {
             Target::Single(e) => &mut **e,
             Target::Fleet(f) => &mut **f,
+            Target::Sharded(s) => &mut **s,
         }
     }
 }
@@ -463,10 +478,23 @@ fn stream_main(args: &[String]) -> ExitCode {
     );
 
     // Build the target and report initial match counts per engine.
-    let cfg = TurboFluxConfig::with_semantics(opts.semantics);
+    let cfg =
+        TurboFluxConfig { shards: opts.shards, ..TurboFluxConfig::with_semantics(opts.semantics) };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let mut target = if opts.fleet_threads.is_some() || queries.len() > 1 {
+    let mut target = if opts.shards > 1 {
+        // Sharded runtime: graph partitioned across shards, every query
+        // evaluated on every shard's slice. Worker threads default to one
+        // per shard unless --fleet caps them.
+        let threads = opts.fleet_threads.unwrap_or(opts.shards);
+        let mut engine = ShardedEngine::new(queries, g0, cfg, threads);
+        for q in 0..engine.queries() {
+            let mut n = 0u64;
+            engine.report_initial(q, &mut |_| n += 1);
+            let _ = writeln!(out, "{{\"type\":\"init\",\"engine\":{q},\"matches\":{n}}}");
+        }
+        Target::Sharded(Box::new(engine))
+    } else if opts.fleet_threads.is_some() || queries.len() > 1 {
         let threads = opts.fleet_threads.unwrap_or(1);
         let mut fleet = Fleet::with_threads(g0, threads);
         for q in queries {
@@ -539,6 +567,14 @@ fn stream_main(args: &[String]) -> ExitCode {
             out,
             "{{\"type\":\"fleet_stats\",\"ops_routed\":{},\"ops_skipped\":{},\"shared_hits\":{},\"shared_misses\":{}}}",
             s.ops_routed, s.ops_skipped, s.shared_hits, s.shared_misses
+        );
+    }
+    // Sharded targets report their partition-routing counters.
+    if let Some(s) = target.as_batch_target().shard_stats() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"shard_stats\",\"ops_routed\":{},\"cross_shard_edges\":{},\"handoffs\":{},\"inbox_high_water\":{}}}",
+            s.ops_routed, s.cross_shard_edges, s.handoffs, s.inbox_high_water
         );
     }
     let _ = out.flush();

@@ -1,0 +1,263 @@
+//! Randomized byte-equality oracle for the sharded execution runtime:
+//! for arbitrary scenarios (K queries over one stream of inserts /
+//! deletes / vertex additions in uniform, hub, and explosive shapes,
+//! always drained back to an empty edge set), the sharded engine at
+//! shards ∈ {1, 2, 4, 8} — parallel and sequential batch paths alike —
+//! must produce exactly the same delta sequence as the unsharded
+//! standalone engines and as a fleet over the same queries, under both
+//! homomorphism and isomorphism semantics. Matching-order adjustment is
+//! pinned off everywhere: that is the static plan the sharded runtime
+//! locks in (see `ShardedEngine::new`).
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+
+type Delta = (usize, usize, Positiveness, MatchRecord);
+
+#[derive(Clone, Copy, Debug)]
+enum StreamShape {
+    /// Endpoints uniform over the vertex set.
+    Uniform,
+    /// Half of all edges incident to the hub vertex 0.
+    Hub,
+    /// A small source core fanning out to everyone (dense match growth).
+    Explosive,
+}
+
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = rng.below(child as usize) as u32;
+        let label = if rng.below(3) == 0 { None } else { Some(LabelId(10 + rng.below(2) as u32)) };
+        let (s, d) = if rng.below(2) == 0 { (parent, child) } else { (child, parent) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    queries: Vec<QueryGraph>,
+    ops: Vec<UpdateOp>,
+}
+
+fn pick_endpoints(rng: &mut Pcg32, shape: StreamShape, vertices: u32) -> (VertexId, VertexId) {
+    let uniform = |rng: &mut Pcg32| VertexId(rng.below(vertices as usize) as u32);
+    match shape {
+        StreamShape::Uniform => (uniform(rng), uniform(rng)),
+        StreamShape::Hub => {
+            let a = if rng.below(2) == 0 { VertexId(0) } else { uniform(rng) };
+            let b = uniform(rng);
+            if rng.below(2) == 0 {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        }
+        StreamShape::Explosive => {
+            (VertexId(rng.below(3.min(vertices as usize)) as u32), uniform(rng))
+        }
+    }
+}
+
+fn random_scenario(rng: &mut Pcg32, shape: StreamShape) -> Scenario {
+    // Enough vertices that every shard count in {2, 4, 8} sees
+    // cross-shard edges mid-stream.
+    let nv = 10 + rng.below(8) as u32;
+    let mut g = DynamicGraph::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 2)));
+    }
+    for _ in 0..rng.below(8) {
+        let (a, b) = pick_endpoints(rng, shape, nv);
+        g.insert_edge(a, LabelId(10 + rng.below(2) as u32), b);
+    }
+
+    let nqueries = 1 + rng.below(3); // 1..=3 queries
+    let queries: Vec<QueryGraph> = (0..nqueries)
+        .map(|_| {
+            let nq = 2 + rng.below(3) as u32;
+            random_query(rng, nq)
+        })
+        .collect();
+
+    // A mixed op sequence over a growing vertex set; `live` mirrors the
+    // graph so deletes mostly hit real edges (misses are exercised too).
+    let mut ops = Vec::new();
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let mut vertices = nv;
+    for _ in 0..(12 + rng.below(16)) {
+        match rng.below(10) {
+            0 => {
+                ops.push(UpdateOp::AddVertex {
+                    id: VertexId(vertices),
+                    labels: LabelSet::single(LabelId(rng.below(2) as u32)),
+                });
+                vertices += 1;
+            }
+            1 => {
+                // Insert touching a brand-new (implicitly created) vertex.
+                let a = VertexId(rng.below(vertices as usize) as u32);
+                let b = VertexId(vertices);
+                vertices += 1;
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+            2..=3 if !live.is_empty() => {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            }
+            _ => {
+                let (a, b) = pick_endpoints(rng, shape, vertices);
+                let l = LabelId(10 + rng.below(2) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b)); // duplicates allowed: exercises skips
+            }
+        }
+    }
+    // Drain to empty: every surviving edge is deleted, in random order, so
+    // the full DCG teardown path runs in every scenario.
+    rng.shuffle(&mut live);
+    for (a, l, b) in live {
+        ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+    }
+    Scenario { g0: g, queries, ops }
+}
+
+/// Unsharded reference: K standalone engines (static matching order)
+/// applying ops one at a time. Also returns each query's initial matches.
+fn standalone(s: &Scenario, cfg: &TurboFluxConfig) -> (Vec<Vec<MatchRecord>>, Vec<Delta>) {
+    let mut out = Vec::new();
+    let mut initial = Vec::new();
+    for (id, q) in s.queries.iter().enumerate() {
+        let mut engine = TurboFlux::new(q.clone(), s.g0.clone(), *cfg);
+        let mut init = Vec::new();
+        engine.report_initial(&mut |r| init.push(r.clone()));
+        initial.push(init);
+        for (op_index, op) in s.ops.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| out.push((id, op_index, p, r.clone())));
+        }
+    }
+    (initial, out)
+}
+
+fn fleet_deltas(s: &Scenario, cfg: &TurboFluxConfig) -> Vec<Delta> {
+    let mut fleet = Fleet::with_threads(s.g0.clone(), 2);
+    for q in &s.queries {
+        fleet.register(q.clone(), *cfg);
+    }
+    let mut out: Vec<Delta> = Vec::new();
+    fleet.apply_batch(&s.ops, &mut |d: FleetDelta<'_>| {
+        out.push((d.engine, d.op_index, d.positiveness, d.record.clone()));
+    });
+    out
+}
+
+/// Runs the sharded engine and returns (initials per query, deltas, stats).
+fn sharded(
+    s: &Scenario,
+    cfg: &TurboFluxConfig,
+    shards: usize,
+    threads: usize,
+    parallel: bool,
+) -> (Vec<Vec<MatchRecord>>, Vec<Delta>, ShardStats) {
+    let cfg = TurboFluxConfig { shards, ..*cfg };
+    let mut engine = ShardedEngine::new(s.queries.clone(), s.g0.clone(), cfg, threads);
+    let mut initial = Vec::new();
+    for q in 0..s.queries.len() {
+        let mut init = Vec::new();
+        engine.report_initial(q, &mut |r| init.push(r.clone()));
+        initial.push(init);
+    }
+    let mut out: Vec<Delta> = Vec::new();
+    if parallel {
+        engine.apply_batch(&s.ops, &mut |q, op, p, r| out.push((q, op, p, r.clone())));
+    } else {
+        // Split the stream into two sequential batches so mid-stream
+        // construction state (not just end-to-end totals) is exercised;
+        // op indices are batch-relative (the `Fleet` convention), so the
+        // second batch is offset back to stream positions.
+        let mid = s.ops.len() / 2;
+        engine.apply_batch_sequential(&s.ops[..mid], &mut |q, op, p, r| {
+            out.push((q, op, p, r.clone()))
+        });
+        engine.apply_batch_sequential(&s.ops[mid..], &mut |q, op, p, r| {
+            out.push((q, mid + op, p, r.clone()))
+        });
+    }
+    (initial, out, engine.stats())
+}
+
+fn run(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    // The sharded runtime pins the matching order static; the honest
+    // unsharded reference is the engine with the same static order.
+    let cfg =
+        TurboFluxConfig { semantics, adjust_matching_order: false, ..TurboFluxConfig::default() };
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    let mut agg = ShardStats::default();
+    let shapes = [StreamShape::Uniform, StreamShape::Hub, StreamShape::Explosive];
+    for round in 0..36 {
+        let shape = shapes[round % shapes.len()];
+        let s = random_scenario(&mut rng, shape);
+        if s.queries.iter().any(|q| q.edge_count() == 0 || !q.is_connected()) {
+            continue;
+        }
+        exercised += 1;
+        let (want_init, want) = standalone(&s, &cfg);
+        assert_eq!(fleet_deltas(&s, &cfg), want, "fleet != standalone ({shape:?})");
+        for shards in [1usize, 2, 4, 8] {
+            let parallel = shards % 2 == 0; // alternate both batch paths
+            let (init, got, stats) = sharded(&s, &cfg, shards, 4, parallel);
+            assert_eq!(init, want_init, "initial matches diverge at shards={shards} ({shape:?})");
+            // Output is (query, op) ordered *per batch*; re-key the
+            // whole-stream reference for the two-batch sequential run.
+            let want_here = if parallel {
+                want.clone()
+            } else {
+                let mid = s.ops.len() / 2;
+                let mut w = want.clone();
+                w.sort_by_key(|&(q, op, _, _)| (op >= mid, q));
+                w
+            };
+            assert_eq!(got, want_here, "deltas diverge at shards={shards} ({shape:?})");
+            if shards > 1 {
+                agg.ops_routed += stats.ops_routed;
+                agg.cross_shard_edges += stats.cross_shard_edges;
+                agg.handoffs += stats.handoffs;
+                agg.inbox_high_water = agg.inbox_high_water.max(stats.inbox_high_water);
+            }
+        }
+        if !want.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 20, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 5, "only {nonempty} scenarios produced matches");
+    // Non-vacuity: the sharded runs actually routed ops, mirrored
+    // cross-shard edges, and delivered handoffs.
+    assert!(agg.ops_routed > 0, "no ops routed: {agg:?}");
+    assert!(agg.cross_shard_edges > 0, "no cross-shard edges: {agg:?}");
+    assert!(agg.handoffs > 0, "no handoffs: {agg:?}");
+    assert!(agg.inbox_high_water > 0, "inboxes stayed empty: {agg:?}");
+}
+
+#[test]
+fn sharded_matches_unsharded_homomorphism() {
+    run(0x05AA_D001, MatchSemantics::Homomorphism);
+}
+
+#[test]
+fn sharded_matches_unsharded_isomorphism() {
+    run(0x05AA_D002, MatchSemantics::Isomorphism);
+}
