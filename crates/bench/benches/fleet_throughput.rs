@@ -165,7 +165,15 @@ fn star_fleet(
     nq: usize,
     shared: bool,
 ) -> (Fleet, TurboFluxConfig) {
-    let cfg = TurboFluxConfig { fleet_shared_index: shared, ..TurboFluxConfig::default() };
+    // Subtree sharing pinned off: this group isolates the phase-1 per-edge
+    // candidate index, and with the default phase-2 path on, the star
+    // query's whole mid-branch would be served by a shared instance and
+    // never consult the index. `fleet_shared/prefix_q*` measures phase 2.
+    let cfg = TurboFluxConfig {
+        fleet_shared_index: shared,
+        fleet_shared_subtrees: false,
+        ..TurboFluxConfig::default()
+    };
     let mut fleet = Fleet::with_threads(g0.clone(), 1);
     for _ in 0..nq {
         fleet.register(q.clone(), cfg);
@@ -204,6 +212,140 @@ fn fleet_shared_overlap(c: &mut Criterion) {
         group.throughput(Throughput::Elements(ops.len() as u64));
         for (id, shared) in [("shared", true), ("naive", false)] {
             let (mut fleet, _) = star_fleet(&g0, &q, nq, shared);
+            group.bench_function(id, |b| b.iter(|| black_box(replay(&mut fleet, &ops))));
+        }
+        group.finish();
+    }
+}
+
+/// Extra labels of the prefix-sharing workload: the deep level below the
+/// targets and the per-query private suffix vertices.
+const L_DEEP: LabelId = LabelId(4);
+const L_SUF: LabelId = LabelId(5);
+
+const PREFIX_MIDS: usize = 8;
+const PREFIX_TARGETS: usize = 2048;
+const PREFIX_DEEPS: usize = 2;
+const PREFIX_QMAX: usize = 64;
+const PREFIX_OPS: usize = 256;
+
+/// Prefix-sharing workload: every query is the 3-edge chain
+/// root→mid→target→deep (the shared DCG subtree) plus one private suffix
+/// edge root→suffix with a query-unique edge label. The target level is
+/// candidate-wide (2048 targets per mid), so each root→mid (re)insert
+/// rebuilds a 2048-entry DCG region per engine — per-edge candidate
+/// sharing (phase 1) amortizes the *scans* but still pays the per-engine
+/// DCG writes; subtree sharing (phase 2) maintains the region once.
+fn prefix_setup() -> (DynamicGraph, Vec<QueryGraph>, Vec<UpdateOp>) {
+    let mut g = DynamicGraph::new();
+    let root = g.add_vertex(LabelSet::single(L_ROOT));
+    let mids: Vec<VertexId> =
+        (0..PREFIX_MIDS).map(|_| g.add_vertex(LabelSet::single(L_MID))).collect();
+    let targets: Vec<VertexId> =
+        (0..PREFIX_TARGETS).map(|_| g.add_vertex(LabelSet::single(L_TARGET))).collect();
+    let deeps: Vec<VertexId> =
+        (0..PREFIX_DEEPS).map(|_| g.add_vertex(LabelSet::single(L_DEEP))).collect();
+    for &m in &mids {
+        for &t in &targets {
+            g.insert_edge(m, L_EDGE, t);
+        }
+    }
+    // Only the first two targets reach the deep level, so the candidate
+    // region is wide (2048 DCG entries per mid) while complete matches — a
+    // per-engine cost no sharing scheme can amortize — stay few.
+    for &t in &targets[..2] {
+        for &d in &deeps {
+            g.insert_edge(t, L_EDGE, d);
+        }
+    }
+    // One private suffix vertex per query, each reachable over a
+    // query-unique edge label.
+    for i in 0..PREFIX_QMAX {
+        let s = g.add_vertex(LabelSet::single(L_SUF));
+        g.insert_edge(root, LabelId(100 + i as u32), s);
+    }
+    let churn = &mids[..PREFIX_MIDS / 2];
+    for &m in churn {
+        g.insert_edge(root, L_EDGE, m);
+    }
+
+    let queries = (0..PREFIX_QMAX)
+        .map(|i| {
+            let mut q = QueryGraph::new();
+            let a = q.add_vertex(LabelSet::single(L_ROOT));
+            let b = q.add_vertex(LabelSet::single(L_MID));
+            let c = q.add_vertex(LabelSet::single(L_TARGET));
+            let d = q.add_vertex(LabelSet::single(L_DEEP));
+            let e = q.add_vertex(LabelSet::single(L_SUF));
+            q.add_edge(a, b, Some(L_EDGE));
+            q.add_edge(b, c, Some(L_EDGE));
+            q.add_edge(c, d, Some(L_EDGE));
+            q.add_edge(a, e, Some(LabelId(100 + i as u32)));
+            q
+        })
+        .collect();
+
+    let mut ops = Vec::with_capacity(PREFIX_OPS);
+    for i in 0..PREFIX_OPS / 2 {
+        let m = churn[i % churn.len()];
+        ops.push(UpdateOp::DeleteEdge { src: root, label: L_EDGE, dst: m });
+        ops.push(UpdateOp::InsertEdge { src: root, label: L_EDGE, dst: m });
+    }
+    (g, queries, ops)
+}
+
+fn prefix_fleet(
+    g0: &DynamicGraph,
+    queries: &[QueryGraph],
+    nq: usize,
+    subtrees: bool,
+    index: bool,
+) -> Fleet {
+    let cfg = TurboFluxConfig {
+        fleet_shared_subtrees: subtrees,
+        fleet_shared_index: index,
+        ..TurboFluxConfig::default()
+    };
+    let mut fleet = Fleet::with_threads(g0.clone(), 1);
+    for q in &queries[..nq] {
+        fleet.register(q.clone(), cfg);
+    }
+    fleet
+}
+
+/// Shared DCG subtree prefixes (phase 2) vs the per-edge candidate index
+/// (phase 1) vs no sharing, on the common-prefix workload.
+fn fleet_shared_prefix(c: &mut Criterion) {
+    let (g0, queries, ops) = prefix_setup();
+
+    // Sanity: the three modes must emit identical delta counts, the
+    // phase-2 fleet must actually serve regions from shared instances, and
+    // each ablation must leave its layer untouched.
+    {
+        let mut shared = prefix_fleet(&g0, &queries, 2, true, true);
+        let mut phase1 = prefix_fleet(&g0, &queries, 2, false, true);
+        let mut naive = prefix_fleet(&g0, &queries, 2, false, false);
+        let n_shared = replay(&mut shared, &ops);
+        assert!(n_shared > 0, "prefix workload produced no deltas");
+        assert_eq!(n_shared, replay(&mut phase1, &ops), "phase1 fleet delta count diverged");
+        assert_eq!(n_shared, replay(&mut naive, &ops), "naive fleet delta count diverged");
+        let st = shared.stats();
+        assert!(st.subtrees_shared >= 1, "prefix queries did not fold into a shared subtree");
+        assert!(st.subtree_hits > 0, "shared subtree never served a DCG region");
+        assert!(st.suffix_evals > 0, "no suffix evaluations ran");
+        assert_eq!(phase1.stats().subtree_hits, 0, "subtree ablation still skipped regions");
+        assert!(phase1.stats().shared_hits > 0, "phase-1 fleet never hit the candidate index");
+        assert_eq!(naive.stats().shared_hits, 0, "naive fleet consulted the candidate index");
+    }
+
+    for &nq in &[4usize, 16, 64] {
+        let mut group = c.benchmark_group(format!("fleet_shared/prefix_q{nq}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(ops.len() as u64));
+        for (id, subtrees, index) in
+            [("shared", true, true), ("phase1", false, true), ("naive", false, false)]
+        {
+            let mut fleet = prefix_fleet(&g0, &queries, nq, subtrees, index);
             group.bench_function(id, |b| b.iter(|| black_box(replay(&mut fleet, &ops))));
         }
         group.finish();
@@ -257,5 +399,11 @@ fn fleet_routing_disjoint(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput, fleet_shared_overlap, fleet_routing_disjoint);
+criterion_group!(
+    benches,
+    fleet_throughput,
+    fleet_shared_overlap,
+    fleet_shared_prefix,
+    fleet_routing_disjoint
+);
 criterion_main!(benches);

@@ -95,6 +95,27 @@ fn bench_shape(c: &mut Criterion, name: &str, d: &Dataset, query_seed: u64) {
         assert_eq!(got, want, "{name}: shards={shards} delta count diverged");
     }
 
+    // Regression guard: the single-shard fast path must track the unsharded
+    // engine. Min-of-N damps scheduler noise; the 1.5× bound is generous
+    // (measured parity ±5% on both uniform and hub — see DESIGN.md's
+    // sharded-execution notes and `examples/shard_probe.rs`).
+    let min_of = |f: &dyn Fn() -> u64| {
+        (0..7)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let base = min_of(&|| unsharded_deltas(&d.g0, &q, &ops));
+    let single = min_of(&|| sharded_deltas(&d.g0, &q, &ops, 1));
+    assert!(
+        single <= base.mul_f64(1.5),
+        "{name}: shards=1 fast path regressed: {single:?} vs unsharded {base:?}"
+    );
+
     let mut group = c.benchmark_group(format!("shard_scaling/{name}"));
     group.sample_size(10);
     group.throughput(Throughput::Elements(ops.len() as u64));

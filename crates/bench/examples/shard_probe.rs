@@ -1,0 +1,85 @@
+//! Min-of-N probe for the shards=1 fast path vs the unsharded engine
+//! (investigation harness for the PR-8 hub-apply gap).
+
+use std::time::Instant;
+use tfx_core::{ShardedEngine, TurboFlux, TurboFluxConfig};
+use tfx_datagen::{hub, queries, uniform, Dataset, HubConfig, Pcg32, UniformConfig};
+use tfx_graph::UpdateOp;
+use tfx_query::{ContinuousMatcher, QueryGraph};
+
+const STREAM_OPS: usize = 1024;
+const BATCH: usize = 256;
+const PROBES: usize = 20;
+const MAX_DELTAS: u64 = 50_000;
+
+fn cfg(shards: usize) -> TurboFluxConfig {
+    TurboFluxConfig { shards, adjust_matching_order: false, ..TurboFluxConfig::default() }
+}
+
+fn pick_query(d: &Dataset, ops: &[UpdateOp], rng_seed: u64) -> QueryGraph {
+    let mut rng = Pcg32::new(rng_seed);
+    loop {
+        let q = queries::random_tree_query(&d.schema, 4, &mut rng);
+        let mut probe = TurboFlux::new(q.clone(), d.g0.clone(), cfg(1));
+        let mut n = 0u64;
+        for op in ops {
+            probe.apply(op, &mut |_, _| n += 1);
+            if n > MAX_DELTAS {
+                break;
+            }
+        }
+        if n > 0 && n <= MAX_DELTAS {
+            return q;
+        }
+    }
+}
+
+fn probe(name: &str, d: &Dataset) {
+    let ops: Vec<UpdateOp> = d.stream.ops().iter().take(STREAM_OPS).cloned().collect();
+    let q = pick_query(d, &ops, 77);
+
+    let mut best_unsharded = f64::MAX;
+    let mut best_sharded = f64::MAX;
+    let mut best_unsharded_apply = f64::MAX;
+    let mut best_sharded_apply = f64::MAX;
+    for _ in 0..PROBES {
+        let t = Instant::now();
+        let mut engine = TurboFlux::new(q.clone(), d.g0.clone(), cfg(1));
+        let setup = t.elapsed().as_secs_f64();
+        let mut n = 0u64;
+        for op in &ops {
+            engine.apply(op, &mut |_, _| n += 1);
+        }
+        let total = t.elapsed().as_secs_f64();
+        best_unsharded = best_unsharded.min(total);
+        best_unsharded_apply = best_unsharded_apply.min(total - setup);
+        std::hint::black_box(n);
+
+        let t = Instant::now();
+        let mut engine = ShardedEngine::new(vec![q.clone()], d.g0.clone(), cfg(1), 1);
+        let setup = t.elapsed().as_secs_f64();
+        let mut m = 0u64;
+        for chunk in ops.chunks(BATCH) {
+            engine.apply_batch(chunk, &mut |_, _, _, _| m += 1);
+        }
+        let total = t.elapsed().as_secs_f64();
+        best_sharded = best_sharded.min(total);
+        best_sharded_apply = best_sharded_apply.min(total - setup);
+        std::hint::black_box(m);
+        assert_eq!(n, m);
+    }
+    println!(
+        "{name}: total unsharded {:.3}ms shards1 {:.3}ms ratio {:.3}x | apply-only unsharded {:.3}ms shards1 {:.3}ms ratio {:.3}x",
+        best_unsharded * 1e3,
+        best_sharded * 1e3,
+        best_unsharded / best_sharded,
+        best_unsharded_apply * 1e3,
+        best_sharded_apply * 1e3,
+        best_unsharded_apply / best_sharded_apply,
+    );
+}
+
+fn main() {
+    probe("uniform", &uniform::generate(&UniformConfig { seed: 31, ..UniformConfig::default() }));
+    probe("hub", &hub::generate(&HubConfig { seed: 31, ..HubConfig::default() }));
+}

@@ -52,6 +52,16 @@ pub struct TurboFluxConfig {
     /// this is the multi-query-optimization ablation switch. Ignored by
     /// standalone engines.
     pub fleet_shared_index: bool,
+    /// When the engine runs inside a [`crate::fleet::Fleet`], fold complete
+    /// root-child execution-tree branches that are label-path-identical
+    /// across engines into refcounted shared subtree instances
+    /// ([`crate::shared_subtree::SharedSubtrees`]): the fleet driver
+    /// maintains each shared branch's DCG state once per op, and every
+    /// sharing engine reads it instead of rebuilding the branch privately.
+    /// Deltas are identical either way — this is the phase-2
+    /// multi-query-optimization ablation switch (off falls back to the
+    /// per-edge shared candidate index). Ignored by standalone engines.
+    pub fleet_shared_subtrees: bool,
     /// Shard count for the sharded execution runtime
     /// ([`crate::shard::ShardedEngine`]): data-graph vertices are
     /// hash-partitioned across this many worker shards, each maintaining a
@@ -73,6 +83,7 @@ impl Default for TurboFluxConfig {
             parallel_workers: 0,
             parallel_min_frontier: 64,
             fleet_shared_index: true,
+            fleet_shared_subtrees: true,
             shards: 1,
         }
     }
@@ -109,6 +120,7 @@ mod tests {
         assert_eq!(c.parallel_workers, 0, "auto-sized by default");
         assert!(c.parallel_min_frontier > 1, "small updates stay sequential");
         assert!(c.fleet_shared_index, "shared candidate index on by default");
+        assert!(c.fleet_shared_subtrees, "shared DCG subtrees on by default");
         assert_eq!(c.shards, 1, "unsharded by default");
         assert_eq!(c.adjacency_mode(), AdjacencyMode::Indexed);
         let flat = TurboFluxConfig { label_indexed_adjacency: false, ..c };

@@ -73,6 +73,7 @@ use tfx_query::{MatchRecord, Positiveness, QueryGraph};
 use crate::config::TurboFluxConfig;
 use crate::engine::TurboFlux;
 use crate::shared_index::SharedCandidateIndex;
+use crate::shared_subtree::{canonical_branch, FleetCtx, SharedSubtrees};
 
 /// One buffered match: `(op index, positiveness, mapping)`.
 type Pending = (usize, Positiveness, MatchRecord);
@@ -104,6 +105,15 @@ pub struct FleetStats {
     /// DCG candidate collections that fell back to a private adjacency
     /// scan while the shared index was in use (unshareable tree edge).
     pub shared_misses: u64,
+    /// Live shared subtree instances currently serving ≥ 2 engines (a
+    /// gauge, not a cumulative counter).
+    pub subtrees_shared: u64,
+    /// DCG build/clear regions engines skipped because a shared subtree
+    /// instance already maintains them.
+    pub subtree_hits: u64,
+    /// Edge evaluations engines ran against their private suffix while
+    /// bound branches were served by shared instances.
+    pub suffix_evals: u64,
 }
 
 /// Per-op evaluation plan, derived once by the driver and executed by every
@@ -122,13 +132,22 @@ enum Round {
 }
 
 /// Applies the graph-mutating half of `op` that must precede evaluation
-/// (keeping the shared candidate index exactly in step with the graph) and
-/// plans the engines' round.
-fn stage(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, op: &UpdateOp) -> Round {
+/// (keeping the shared candidate index and the shared subtree instances
+/// exactly in step with the graph) and plans the engines' round. Insertion
+/// maintenance of the subtree instances runs here — before any engine
+/// evaluates — so suffix climbs read post-op shared state (a superset of
+/// the naive mid-op state; the order filter discards the difference).
+fn stage(
+    graph: &mut DynamicGraph,
+    shared: &mut SharedCandidateIndex,
+    subtrees: &mut SharedSubtrees,
+    op: &UpdateOp,
+) -> Round {
     match *op {
         UpdateOp::AddVertex { .. } => {
             let from = VertexId(graph.vertex_count() as u32);
             if graph.apply(op) {
+                subtrees.register_new_vertices(graph, from);
                 Round::Register { from }
             } else {
                 Round::Skip
@@ -144,8 +163,13 @@ fn stage(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, op: &Updat
             }
             if graph.insert_edge(src, label, dst) {
                 shared.insert_edge(graph, src, label, dst);
+                if graph.vertex_count() as u32 > from.0 {
+                    subtrees.register_new_vertices(graph, from);
+                }
+                subtrees.maintain_insert(graph, src, label, dst);
                 Round::Insert { from, src, label, dst }
             } else if graph.vertex_count() as u32 > from.0 {
+                subtrees.register_new_vertices(graph, from);
                 Round::Register { from }
             } else {
                 Round::Skip
@@ -162,8 +186,17 @@ fn stage(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, op: &Updat
 }
 
 /// Applies the graph-mutating half of an op that must *follow* evaluation.
-fn finalize(graph: &mut DynamicGraph, shared: &mut SharedCandidateIndex, round: &Round) {
+/// Deletion maintenance of the subtree instances runs here — after every
+/// engine evaluated — so suffix climbs read frozen pre-op shared state (a
+/// superset of the naive mid-op state, discarded the same way).
+fn finalize(
+    graph: &mut DynamicGraph,
+    shared: &mut SharedCandidateIndex,
+    subtrees: &mut SharedSubtrees,
+    round: &Round,
+) {
     if let Round::Delete { src, label, dst } = *round {
+        subtrees.maintain_delete(graph, src, label, dst);
         shared.delete_edge(src, label, dst);
         graph.delete_edge(src, label, dst);
     }
@@ -260,34 +293,47 @@ fn count_round(round: &Round, targets: &[(usize, bool)], nengines: usize) -> (u6
 /// Runs one round on one engine, buffering its matches. `eval == false`
 /// restricts an `Insert` round to vertex registration (the engine was not
 /// routed the edge itself).
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     engine: &mut TurboFlux,
     g: &DynamicGraph,
     shared: &SharedCandidateIndex,
+    subtrees: &SharedSubtrees,
     op_index: usize,
     round: &Round,
     eval: bool,
     buf: &mut Vec<Pending>,
 ) {
+    let fleet = FleetCtx { idx: engine.uses_shared_index().then_some(shared), sub: Some(subtrees) };
     match *round {
         Round::Skip => {}
         Round::Register { from } => engine.register_new_vertices(g, from),
         Round::Insert { from, src, label, dst } => {
             engine.register_new_vertices(g, from);
             if eval {
-                let shared = engine.uses_shared_index().then_some(shared);
-                engine.eval_inserted_edge_in(g, shared, src, label, dst, &mut |p, r| {
+                engine.eval_inserted_edge_in(g, fleet, src, label, dst, &mut |p, r| {
                     buf.push((op_index, p, r.clone()));
                 });
             }
         }
         Round::Delete { src, label, dst } => {
             if eval {
-                engine.eval_deleting_edge(g, src, label, dst, &mut |p, r| {
+                engine.eval_deleting_edge_in(g, fleet, src, label, dst, &mut |p, r| {
                     buf.push((op_index, p, r.clone()));
                 });
             }
         }
+    }
+}
+
+/// Post-finalize matching-order maintenance for one shared-branch engine:
+/// the in-eval adjust is suppressed for such engines (effective counts
+/// fold in instance state, which for deletions settles only at finalize),
+/// so the driver runs the drift check here, once per routed engine per
+/// edge op.
+fn adjust_shared_order(engine: &mut TurboFlux, subtrees: &SharedSubtrees) {
+    if engine.has_shared_branches() {
+        engine.maybe_adjust_order_in(FleetCtx { idx: None, sub: Some(subtrees) });
     }
 }
 
@@ -308,6 +354,7 @@ fn emit(ids: &[usize], bufs: &[Vec<Pending>], sink: &mut dyn FnMut(FleetDelta<'_
 pub struct Fleet {
     graph: DynamicGraph,
     shared: SharedCandidateIndex,
+    subtrees: SharedSubtrees,
     engines: Vec<TurboFlux>,
     /// Stable registration id per engine position; strictly ascending
     /// ([`Fleet::deregister`] removes, never renumbers), so position order
@@ -326,6 +373,9 @@ pub struct Fleet {
     /// engines keep their own; [`Fleet::stats`] sums both).
     drained_hits: u64,
     drained_misses: u64,
+    /// Subtree counters drained from deregistered engines.
+    drained_subtree_hits: u64,
+    drained_suffix_evals: u64,
     threads: usize,
 }
 
@@ -342,6 +392,7 @@ impl Fleet {
         Fleet {
             graph: g0,
             shared: SharedCandidateIndex::new(),
+            subtrees: SharedSubtrees::new(),
             engines: Vec::new(),
             ids: Vec::new(),
             next_id: 0,
@@ -351,6 +402,8 @@ impl Fleet {
             ops_skipped: 0,
             drained_hits: 0,
             drained_misses: 0,
+            drained_subtree_hits: 0,
+            drained_suffix_evals: 0,
             threads: threads.max(1),
         }
     }
@@ -366,17 +419,45 @@ impl Fleet {
     /// intra-update parallelism; [`Fleet::apply_batch`] tightens the cap
     /// further while several engines evaluate concurrently.
     pub fn register(&mut self, q: QueryGraph, cfg: TurboFluxConfig) -> usize {
-        let mut engine = TurboFlux::register(q, &self.graph, cfg);
+        let mut engine = TurboFlux::analyze(q, &self.graph, cfg, None, None);
         engine.set_worker_budget(self.threads);
+        if cfg.fleet_shared_subtrees {
+            // Bind every complete root-child subtree with at least one
+            // grandchild to a (refcounted, possibly pre-existing) shared
+            // instance; the initial build below then skips those regions.
+            let root = engine.query_tree().root();
+            let branch_roots: Vec<_> = engine
+                .query_tree()
+                .children(root)
+                .iter()
+                .copied()
+                .filter(|&c| !engine.query_tree().children(c).is_empty())
+                .collect();
+            for c in branch_roots {
+                let (key, mapping) = canonical_branch(engine.query(), engine.query_tree(), c);
+                let inst = self.subtrees.acquire(&self.graph, key);
+                engine.bind_branch(c, inst, &mapping);
+            }
+        }
         if cfg.fleet_shared_index {
             let nq = engine.query().vertex_count();
             for ui in 0..nq as u32 {
                 let u = tfx_query::QVertexId(ui);
+                // Vertices inside bound branches are never built privately,
+                // so a per-edge signature would be dead weight.
+                if engine.branch_nodes[u.index()].is_some() {
+                    continue;
+                }
                 if let Some(key) = engine.shared_sig_key(u) {
                     engine.shared_sigs[u.index()] = Some(self.shared.acquire(&self.graph, key));
                 }
             }
         }
+        let fleet = FleetCtx {
+            idx: cfg.fleet_shared_index.then_some(&self.shared),
+            sub: Some(&self.subtrees),
+        };
+        engine.finish_registration(&self.graph, fleet);
         self.engines.push(engine);
         let id = self.next_id;
         self.next_id += 1;
@@ -398,8 +479,13 @@ impl Fleet {
         for sig in engine.shared_sigs.iter().flatten() {
             self.shared.release(*sig);
         }
+        for b in &engine.branches {
+            self.subtrees.release(b.inst);
+        }
         self.drained_hits += engine.shared_hits;
         self.drained_misses += engine.shared_misses;
+        self.drained_subtree_hits += engine.subtree_hits;
+        self.drained_suffix_evals += engine.suffix_evals;
         self.rebuild_routing();
         true
     }
@@ -455,17 +541,28 @@ impl Fleet {
         self.threads
     }
 
-    /// Cumulative routing and shared-index counters.
+    /// The fleet-shared subtree store.
+    pub fn shared_subtrees(&self) -> &SharedSubtrees {
+        &self.subtrees
+    }
+
+    /// Cumulative routing and sharing counters (`subtrees_shared` is a
+    /// live gauge: instances currently serving ≥ 2 engines).
     pub fn stats(&self) -> FleetStats {
         let mut stats = FleetStats {
             ops_routed: self.ops_routed,
             ops_skipped: self.ops_skipped,
             shared_hits: self.drained_hits,
             shared_misses: self.drained_misses,
+            subtrees_shared: self.subtrees.shared_instance_count() as u64,
+            subtree_hits: self.drained_subtree_hits,
+            suffix_evals: self.drained_suffix_evals,
         };
         for engine in &self.engines {
             stats.shared_hits += engine.shared_hits;
             stats.shared_misses += engine.shared_misses;
+            stats.subtree_hits += engine.subtree_hits;
+            stats.suffix_evals += engine.suffix_evals;
         }
         stats
     }
@@ -473,8 +570,9 @@ impl Fleet {
     /// Reports all matches of engine `id` against the current graph state.
     pub fn report_initial(&mut self, id: usize, sink: &mut dyn FnMut(&MatchRecord)) {
         let pos = self.pos_of(id);
-        let Fleet { graph, engines, .. } = self;
-        engines[pos].initial_matches_in(graph, sink);
+        let Fleet { graph, subtrees, engines, .. } = self;
+        let fleet = FleetCtx { idx: None, sub: Some(subtrees) };
+        engines[pos].initial_matches_ctx(graph, fleet, sink);
     }
 
     /// Applies a batch of updates to the shared graph, evaluating every
@@ -497,7 +595,16 @@ impl Fleet {
             engine.set_worker_budget(budget);
         }
         let Fleet {
-            graph, shared, engines, ids, routing, wildcard, ops_routed, ops_skipped, ..
+            graph,
+            shared,
+            subtrees,
+            engines,
+            ids,
+            routing,
+            wildcard,
+            ops_routed,
+            ops_skipped,
+            ..
         } = &mut *self;
         let nengines = engines.len();
         let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
@@ -508,11 +615,15 @@ impl Fleet {
             // mutex exists to hand out disjoint `&mut`s safely.
             let slots: Vec<Mutex<(&mut TurboFlux, &mut Vec<Pending>)>> =
                 engines.iter_mut().zip(bufs.iter_mut()).map(|(e, b)| Mutex::new((e, b))).collect();
-            // Workers read the graph and shared index during rounds; the
-            // driver writes them strictly between rounds (while no read
-            // guard is held, by the barrier protocol), so this lock never
-            // blocks anyone.
-            let state = RwLock::new((std::mem::take(graph), std::mem::take(shared)));
+            // Workers read the graph, shared index, and subtree store
+            // during rounds; the driver writes them strictly between
+            // rounds (while no read guard is held, by the barrier
+            // protocol), so this lock never blocks anyone.
+            let state = RwLock::new((
+                std::mem::take(graph),
+                std::mem::take(shared),
+                std::mem::take(subtrees),
+            ));
             let cursor = AtomicUsize::new(0);
             let barrier = Barrier::new(workers + 1);
             let round: RwLock<(usize, Round)> = RwLock::new((0, Round::Skip));
@@ -526,7 +637,7 @@ impl Fleet {
                             barrier.wait(); // round published
                             {
                                 let st = state.read().unwrap();
-                                let (g, sh) = &*st;
+                                let (g, sh, sub) = &*st;
                                 let (op_index, rd) = *round.read().unwrap();
                                 let tg = targets.read().unwrap();
                                 // Work stealing: grab the next unclaimed
@@ -539,7 +650,7 @@ impl Fleet {
                                     let (pos, eval) = tg[t];
                                     let mut slot = slots[pos].lock().unwrap();
                                     let (engine, buf) = &mut *slot;
-                                    run_round(engine, g, sh, op_index, &rd, eval, buf);
+                                    run_round(engine, g, sh, sub, op_index, &rd, eval, buf);
                                 }
                             } // read guards dropped before the barrier
                             barrier.wait(); // round complete
@@ -549,8 +660,8 @@ impl Fleet {
                 for (op_index, op) in ops.iter().enumerate() {
                     {
                         let mut st = state.write().unwrap();
-                        let (g, sh) = &mut *st;
-                        let rd = stage(g, sh, op);
+                        let (g, sh, sub) = &mut *st;
+                        let rd = stage(g, sh, sub, op);
                         let mut tg = targets.write().unwrap();
                         plan_round(routing, wildcard, nengines, g, &rd, &mut tg);
                         let (r, sk) = count_round(&rd, &tg, nengines);
@@ -563,13 +674,23 @@ impl Fleet {
                     barrier.wait(); // every routed engine evaluated
                     let rd = round.read().unwrap().1;
                     let mut st = state.write().unwrap();
-                    let (g, sh) = &mut *st;
-                    finalize(g, sh, &rd);
+                    let (g, sh, sub) = &mut *st;
+                    finalize(g, sh, sub, &rd);
+                    if matches!(rd, Round::Insert { .. } | Round::Delete { .. }) {
+                        let tg = targets.read().unwrap();
+                        for &(pos, eval) in tg.iter() {
+                            if eval {
+                                let mut slot = slots[pos].lock().unwrap();
+                                adjust_shared_order(slot.0, sub);
+                            }
+                        }
+                    }
                 }
             });
-            let (g, sh) = state.into_inner().unwrap();
+            let (g, sh, sub) = state.into_inner().unwrap();
             *graph = g;
             *shared = sh;
+            *subtrees = sub;
         }
         *ops_routed += routed_acc;
         *ops_skipped += skipped_acc;
@@ -589,21 +710,46 @@ impl Fleet {
             engine.set_worker_budget(self.threads);
         }
         let Fleet {
-            graph, shared, engines, ids, routing, wildcard, ops_routed, ops_skipped, ..
+            graph,
+            shared,
+            subtrees,
+            engines,
+            ids,
+            routing,
+            wildcard,
+            ops_routed,
+            ops_skipped,
+            ..
         } = &mut *self;
         let nengines = engines.len();
         let mut bufs: Vec<Vec<Pending>> = std::iter::repeat_with(Vec::new).take(nengines).collect();
         let mut targets: Vec<(usize, bool)> = Vec::new();
         for (op_index, op) in ops.iter().enumerate() {
-            let round = stage(graph, shared, op);
+            let round = stage(graph, shared, subtrees, op);
             plan_round(routing, wildcard, nengines, graph, &round, &mut targets);
             let (r, sk) = count_round(&round, &targets, nengines);
             *ops_routed += r;
             *ops_skipped += sk;
             for &(pos, eval) in &targets {
-                run_round(&mut engines[pos], graph, shared, op_index, &round, eval, &mut bufs[pos]);
+                run_round(
+                    &mut engines[pos],
+                    graph,
+                    shared,
+                    subtrees,
+                    op_index,
+                    &round,
+                    eval,
+                    &mut bufs[pos],
+                );
             }
-            finalize(graph, shared, &round);
+            finalize(graph, shared, subtrees, &round);
+            if matches!(round, Round::Insert { .. } | Round::Delete { .. }) {
+                for &(pos, eval) in &targets {
+                    if eval {
+                        adjust_shared_order(&mut engines[pos], subtrees);
+                    }
+                }
+            }
         }
         emit(ids, &bufs, sink);
     }
@@ -847,13 +993,23 @@ mod tests {
         q.add_edge(a, b, Some(l(7)));
         q.add_edge(b, c, Some(l(8)));
 
+        // Subtree sharing off for both fleets: the B->C branch would
+        // otherwise be served by a shared instance and never touch the
+        // per-edge index this test exercises.
         let mut on = Fleet::with_threads(g0.clone(), 1);
         let mut off = Fleet::with_threads(g0, 1);
         for _ in 0..2 {
-            on.register(q.clone(), TurboFluxConfig::default());
+            on.register(
+                q.clone(),
+                TurboFluxConfig { fleet_shared_subtrees: false, ..TurboFluxConfig::default() },
+            );
             off.register(
                 q.clone(),
-                TurboFluxConfig { fleet_shared_index: false, ..TurboFluxConfig::default() },
+                TurboFluxConfig {
+                    fleet_shared_index: false,
+                    fleet_shared_subtrees: false,
+                    ..TurboFluxConfig::default()
+                },
             );
         }
         assert!(on.shared_index().signature_count() > 0);

@@ -45,6 +45,7 @@ mod scratch;
 mod search;
 pub mod shard;
 pub mod shared_index;
+pub mod shared_subtree;
 pub mod spec;
 pub mod tree_nav;
 
@@ -56,6 +57,7 @@ pub use order::OrderMaintenance;
 pub use search::INTERSECT_MIN_FRONTIER;
 pub use shard::{ShardStats, ShardedEngine};
 pub use shared_index::{SharedCandidateIndex, SigKey};
+pub use shared_subtree::{SharedSubtrees, SubtreeKey};
 pub use spec::{reference_dcg, DcgImage};
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 use tfx_query::QVertexId;
 
 use crate::engine::TurboFlux;
+use crate::shared_subtree::FleetCtx;
 
 /// Snapshot-and-compare state for matching-order drift detection.
 #[derive(Default, Debug, Clone)]
@@ -76,19 +77,74 @@ impl OrderMaintenance {
 }
 
 impl TurboFlux {
-    /// Estimated branch factor of `u`: explicit edges labeled `u` per
-    /// explicit edge labeled `P(u)`.
-    fn branch_factor(&self, u: QVertexId) -> f64 {
-        let counts = self.dcg.expl_counts();
+    /// Estimated branch factor of `u` over the effective counts: explicit
+    /// edges labeled `u` per explicit edge labeled `P(u)`.
+    fn branch_factor(&self, u: QVertexId, counts: &[u64]) -> f64 {
         let own = counts[u.index()] as f64;
         let parent = self.tree.parent(u).expect("called on non-root only");
         let pc = counts[parent.index()].max(1) as f64;
         own / pc
     }
 
-    /// Recomputes the matching order from current DCG statistics and
-    /// snapshots the statistics for drift detection.
-    pub(crate) fn recompute_matching_order(&mut self) {
+    /// Refreshes `counts_buf` with the effective per-vertex explicit
+    /// counts: the engine's own counts, with bound-branch vertices patched
+    /// from their shared instance and the root patched from the derived
+    /// start-edge cache. The cache is recounted only when `dirty` touches a
+    /// root child (the derived root count is a function of root-child
+    /// state, so an untouched mask means it cannot have moved).
+    pub(crate) fn refresh_effective_counts(&mut self, fleet: FleetCtx<'_>, dirty: u64) {
+        self.counts_buf.clear();
+        self.counts_buf.extend_from_slice(self.dcg.expl_counts());
+        if !self.has_shared_branches() {
+            return;
+        }
+        let sub = fleet.subtrees();
+        for (i, bn) in self.branch_nodes.iter().enumerate() {
+            if let Some((inst, iu)) = *bn {
+                self.counts_buf[i] = sub.eng(inst).dcg.expl_counts()[iu.index()];
+            }
+        }
+        let root = self.tree.root();
+        if dirty & self.child_mask[root.index()] != 0 {
+            let mut n = 0u64;
+            for (v, _) in self.dcg.root_entries() {
+                if self.st_match_all_children(fleet, v, root) {
+                    n += 1;
+                }
+            }
+            self.root_expl_cache = n;
+        }
+        self.counts_buf[root.index()] = self.root_expl_cache;
+    }
+
+    /// Drains this engine's dirty bits and folds in the bound instances'
+    /// last-op dirty bits (mapped back to this engine's vertex ids) plus
+    /// the derived root bit when any root child was touched.
+    pub(crate) fn collect_dirty(&mut self, fleet: FleetCtx<'_>) -> u64 {
+        let mut dirty = self.dcg.take_dirty_expl();
+        if !self.has_shared_branches() {
+            return dirty;
+        }
+        let sub = fleet.subtrees();
+        for (i, bn) in self.branch_nodes.iter().enumerate() {
+            if let Some((inst, iu)) = *bn {
+                if sub.last_dirty(inst) & (1 << iu.0) != 0 {
+                    dirty |= 1 << i;
+                }
+            }
+        }
+        let root = self.tree.root();
+        if dirty & self.child_mask[root.index()] != 0 {
+            dirty |= 1 << root.0;
+        }
+        dirty
+    }
+
+    /// Recomputes the matching order from current effective DCG statistics
+    /// and snapshots the statistics for drift detection.
+    pub(crate) fn recompute_matching_order(&mut self, fleet: FleetCtx<'_>) {
+        self.refresh_effective_counts(fleet, u64::MAX);
+        let counts = std::mem::take(&mut self.counts_buf);
         let n = self.q.vertex_count();
         let root = self.tree.root();
         let mut present = vec![true; n];
@@ -101,8 +157,8 @@ impl TurboFlux {
                 .filter(|&u| u != root && present[u.index()])
                 .filter(|&u| self.tree.children(u).iter().all(|c| !present[c.index()]))
                 .max_by(|&a, &b| {
-                    self.branch_factor(a)
-                        .partial_cmp(&self.branch_factor(b))
+                    self.branch_factor(a, &counts)
+                        .partial_cmp(&self.branch_factor(b, &counts))
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.0.cmp(&b.0))
                 })
@@ -115,31 +171,41 @@ impl TurboFlux {
         mo.extend(removal.into_iter().rev());
         debug_assert_eq!(mo.len(), n);
         self.mo = mo;
-        self.order_maint.resnapshot(self.dcg.expl_counts());
+        self.order_maint.resnapshot(&counts);
+        self.counts_buf = counts;
         // The snapshot is current again; pending dirty bits are moot.
         self.dcg.take_dirty_expl();
     }
 
-    /// `AdjustMatchingOrder`: recomputes the order when any per-vertex
-    /// explicit count drifted beyond the configured factor since the last
-    /// computation.
+    /// `AdjustMatchingOrder` for standalone engines (no fleet stores in
+    /// play). Engines with bound branches must go through
+    /// [`TurboFlux::maybe_adjust_order_in`] — the fleet driver calls it at
+    /// op finalize with the subtree store.
     pub(crate) fn maybe_adjust_order(&mut self) {
+        debug_assert!(!self.has_shared_branches());
+        self.maybe_adjust_order_in(FleetCtx::NONE);
+    }
+
+    /// `AdjustMatchingOrder`: recomputes the order when any effective
+    /// per-vertex explicit count drifted beyond the configured factor since
+    /// the last computation.
+    pub(crate) fn maybe_adjust_order_in(&mut self, fleet: FleetCtx<'_>) {
         if !self.cfg.adjust_matching_order {
             return;
         }
-        let dirty = self.dcg.take_dirty_expl();
+        let dirty = self.collect_dirty(fleet);
         if dirty == 0 && self.cfg.incremental_drift_check {
             return;
         }
         let (factor, floor) = (self.cfg.order_drift_factor, self.cfg.order_drift_floor);
-        let counts = self.dcg.expl_counts();
+        self.refresh_effective_counts(fleet, dirty);
         let drifted = if self.cfg.incremental_drift_check {
-            self.order_maint.drifted_masked(counts, dirty, factor, floor)
+            self.order_maint.drifted_masked(&self.counts_buf, dirty, factor, floor)
         } else {
-            self.order_maint.drifted_full(counts, factor, floor)
+            self.order_maint.drifted_full(&self.counts_buf, factor, floor)
         };
         if drifted {
-            self.recompute_matching_order();
+            self.recompute_matching_order(fleet);
         }
     }
 }

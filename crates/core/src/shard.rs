@@ -56,6 +56,7 @@ use tfx_query::{EdgeId, MatchRecord, Positiveness, QVertexId, QueryGraph};
 
 use crate::config::TurboFluxConfig;
 use crate::engine::TurboFlux;
+use crate::shared_subtree::FleetCtx;
 
 /// Counters describing the sharded runtime's routing and handoff traffic,
 /// mirroring the shape of [`crate::FleetStats`].
@@ -210,18 +211,19 @@ impl TurboFlux {
         sink: &mut dyn FnMut(Positiveness, &MatchRecord),
     ) {
         let mut scratch = std::mem::take(&mut self.scratch);
+        let fl = FleetCtx::NONE;
         match (insert, seed.tree) {
             (true, true) => {
-                self.insert_tree_invocation(g, None, seed.e, src, label, dst, &mut scratch, sink)
+                self.insert_tree_invocation(g, fl, seed.e, src, label, dst, &mut scratch, sink)
             }
             (true, false) => {
-                self.insert_non_tree_invocation(g, seed.e, src, label, dst, &mut scratch, sink)
+                self.insert_non_tree_invocation(g, fl, seed.e, src, label, dst, &mut scratch, sink)
             }
             (false, true) => {
-                self.delete_tree_invocation(g, seed.e, src, label, dst, &mut scratch, sink)
+                self.delete_tree_invocation(g, fl, seed.e, src, label, dst, &mut scratch, sink)
             }
             (false, false) => {
-                self.delete_non_tree_invocation(g, seed.e, src, label, dst, &mut scratch, sink)
+                self.delete_non_tree_invocation(g, fl, seed.e, src, label, dst, &mut scratch, sink)
             }
         }
         self.scratch = scratch;

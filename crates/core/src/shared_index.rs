@@ -29,8 +29,8 @@ use tfx_graph::{DynamicGraph, LabelId, LabelSet, VertexId};
 /// Identity of a shareable candidate set.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SigKey {
-    /// Concrete query-edge label (wildcard edges are not shareable).
-    pub label: LabelId,
+    /// Query-edge label; `None` is the wildcard bucket (any edge label).
+    pub label: Option<LabelId>,
     /// Label set required on the candidate (tree-child) endpoint.
     pub child_labels: LabelSet,
     /// `true` if the tree child is the data edge's *target* (candidates are
@@ -42,10 +42,16 @@ pub struct SigKey {
 struct Signature {
     key: SigKey,
     refs: usize,
-    /// `runs[pv]` = sorted, duplicate-free candidates `cv` such that the
-    /// oriented data edge `(pv, label, cv)` exists and
-    /// `child_labels ⊆ labels(cv)`.
+    /// `runs[pv]` = sorted, duplicate-free candidates `cv` such that an
+    /// oriented data edge `(pv, label, cv)` exists (any label for the
+    /// wildcard bucket) and `child_labels ⊆ labels(cv)`.
     runs: Vec<Vec<VertexId>>,
+    /// Wildcard signatures only: how many distinct-label parallel edges
+    /// back `runs[pv][i]`. A candidate leaves the run when its last
+    /// backing edge is deleted; concrete-label signatures can't see
+    /// parallels (the graph holds one edge per `(src, label, dst)`), so
+    /// their `mult` stays empty.
+    mult: Vec<Vec<u32>>,
 }
 
 /// Slot-arena of signatures plus lookup maps. Owned by a
@@ -60,6 +66,9 @@ pub struct SharedCandidateIndex {
     /// Live signature ids per edge label, so mutation touches only the
     /// signatures that can care about the updated edge.
     by_label: FxHashMap<LabelId, Vec<u32>>,
+    /// Live wildcard signature ids, consulted on every mutation (any edge
+    /// label can back a wildcard candidate).
+    wildcard: Vec<u32>,
 }
 
 impl SharedCandidateIndex {
@@ -81,18 +90,22 @@ impl SharedCandidateIndex {
             self.sigs[id as usize].as_mut().expect("live signature").refs += 1;
             return id;
         }
-        let mut sig = Signature { key: key.clone(), refs: 1, runs: Vec::new() };
+        let mut sig = Signature { key: key.clone(), refs: 1, runs: Vec::new(), mult: Vec::new() };
         for e in g.edges() {
-            if e.label == key.label {
+            if key.label.is_none() || key.label == Some(e.label) {
                 push_candidate(&mut sig.runs, &key, g, e.src, e.dst);
             }
         }
         // Graph edge iteration order is arbitrary (hash set); each run is
-        // sorted once here and kept sorted incrementally afterwards. Runs
-        // are duplicate-free because the graph holds at most one edge per
-        // (src, label, dst) triple.
+        // sorted once here and kept sorted incrementally afterwards.
+        // Concrete-label runs are duplicate-free because the graph holds at
+        // most one edge per (src, label, dst) triple; wildcard runs see one
+        // entry per backing label and collapse to multiplicities here.
         for run in &mut sig.runs {
             run.sort_unstable();
+        }
+        if key.label.is_none() {
+            sig.mult = sig.runs.iter_mut().map(dedup_counting).collect();
         }
         let id = match self.free.pop() {
             Some(id) => {
@@ -105,7 +118,10 @@ impl SharedCandidateIndex {
             }
         };
         self.by_key.insert(key.clone(), id);
-        self.by_label.entry(key.label).or_default().push(id);
+        match key.label {
+            Some(label) => self.by_label.entry(label).or_default().push(id),
+            None => self.wildcard.push(id),
+        }
         id
     }
 
@@ -119,10 +135,15 @@ impl SharedCandidateIndex {
         }
         let sig = self.sigs[id as usize].take().expect("checked live above");
         self.by_key.remove(&sig.key);
-        let ids = self.by_label.get_mut(&sig.key.label).expect("label entry exists");
-        ids.retain(|&s| s != id);
-        if ids.is_empty() {
-            self.by_label.remove(&sig.key.label);
+        match sig.key.label {
+            Some(label) => {
+                let ids = self.by_label.get_mut(&label).expect("label entry exists");
+                ids.retain(|&s| s != id);
+                if ids.is_empty() {
+                    self.by_label.remove(&label);
+                }
+            }
+            None => self.wildcard.retain(|&s| s != id),
         }
         self.free.push(id);
     }
@@ -131,27 +152,32 @@ impl SharedCandidateIndex {
     /// `(src, label, dst)` into every signature with that label. O(1) when
     /// no live signature uses the label.
     pub fn insert_edge(&mut self, g: &DynamicGraph, src: VertexId, label: LabelId, dst: VertexId) {
-        let Some(ids) = self.by_label.get(&label) else { return };
-        for &id in ids {
-            let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
-            insert_candidate(&mut sig.runs, &sig.key, g, src, dst);
+        if let Some(ids) = self.by_label.get(&label) {
+            for &id in ids {
+                let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
+                insert_candidate(sig, g, src, dst);
+            }
+        }
+        for &id in &self.wildcard {
+            let sig = self.sigs[id as usize].as_mut().expect("wildcard lists live sigs");
+            insert_candidate(sig, g, src, dst);
         }
     }
 
     /// Folds the impending deletion of data edge `(src, label, dst)` out of
     /// every signature with that label (called before the edge leaves the
-    /// graph, mirroring when engines evaluate deletions).
+    /// graph, mirroring when engines evaluate deletions) and out of every
+    /// wildcard signature.
     pub fn delete_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
-        let Some(ids) = self.by_label.get(&label) else { return };
-        for &id in ids {
-            let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
-            let (pv, cand) = orient(&sig.key, src, dst);
-            let Some(run) = sig.runs.get_mut(pv.index()) else { continue };
-            // A candidate that failed the child-label filter at insertion
-            // time simply isn't present; binary search keeps removal total.
-            if let Ok(i) = run.binary_search(&cand) {
-                run.remove(i);
+        if let Some(ids) = self.by_label.get(&label) {
+            for &id in ids {
+                let sig = self.sigs[id as usize].as_mut().expect("by_label lists live sigs");
+                delete_candidate(sig, src, dst);
             }
+        }
+        for &id in &self.wildcard {
+            let sig = self.sigs[id as usize].as_mut().expect("wildcard lists live sigs");
+            delete_candidate(sig, src, dst);
         }
     }
 
@@ -192,27 +218,71 @@ fn push_candidate(
 }
 
 /// Sorted-position insertion of the candidate for one data edge.
-fn insert_candidate(
-    runs: &mut Vec<Vec<VertexId>>,
-    key: &SigKey,
-    g: &DynamicGraph,
-    src: VertexId,
-    dst: VertexId,
-) {
-    let (pv, cand) = orient(key, src, dst);
-    if !key.child_labels.is_subset_of(g.labels(cand)) {
+fn insert_candidate(sig: &mut Signature, g: &DynamicGraph, src: VertexId, dst: VertexId) {
+    let (pv, cand) = orient(&sig.key, src, dst);
+    if !sig.key.child_labels.is_subset_of(g.labels(cand)) {
         return;
     }
-    if runs.len() <= pv.index() {
-        runs.resize_with(pv.index() + 1, Vec::new);
+    if sig.runs.len() <= pv.index() {
+        sig.runs.resize_with(pv.index() + 1, Vec::new);
     }
-    let run = &mut runs[pv.index()];
+    let run = &mut sig.runs[pv.index()];
+    let wildcard = sig.key.label.is_none();
+    if wildcard && sig.mult.len() <= pv.index() {
+        sig.mult.resize_with(pv.index() + 1, Vec::new);
+    }
     match run.binary_search(&cand) {
-        // The graph rejects duplicate (src, label, dst) insertions before
-        // the index is told, so the candidate can only be absent.
+        // Under a concrete label the graph rejects duplicate
+        // (src, label, dst) insertions before the index is told, so the
+        // candidate can only be absent; a wildcard run counts one backing
+        // edge per label.
+        Ok(i) if wildcard => sig.mult[pv.index()][i] += 1,
         Ok(_) => debug_assert!(false, "duplicate candidate {cand:?} in shared run"),
-        Err(i) => run.insert(i, cand),
+        Err(i) => {
+            run.insert(i, cand);
+            if wildcard {
+                sig.mult[pv.index()].insert(i, 1);
+            }
+        }
     }
+}
+
+/// Sorted-position removal of the candidate for one data edge; a wildcard
+/// candidate stays while parallel edges under other labels still back it.
+fn delete_candidate(sig: &mut Signature, src: VertexId, dst: VertexId) {
+    let (pv, cand) = orient(&sig.key, src, dst);
+    let Some(run) = sig.runs.get_mut(pv.index()) else { return };
+    // A candidate that failed the child-label filter at insertion time
+    // simply isn't present; binary search keeps removal total.
+    if let Ok(i) = run.binary_search(&cand) {
+        if sig.key.label.is_none() {
+            let m = &mut sig.mult[pv.index()][i];
+            *m -= 1;
+            if *m > 0 {
+                return;
+            }
+            sig.mult[pv.index()].remove(i);
+        }
+        run.remove(i);
+    }
+}
+
+/// In-place dedup of a sorted run, returning the multiplicity of each
+/// surviving entry.
+fn dedup_counting(run: &mut Vec<VertexId>) -> Vec<u32> {
+    let mut counts: Vec<u32> = Vec::new();
+    let mut write = 0;
+    for read in 0..run.len() {
+        if write > 0 && run[write - 1] == run[read] {
+            counts[write - 1] += 1;
+        } else {
+            run[write] = run[read];
+            counts.push(1);
+            write += 1;
+        }
+    }
+    run.truncate(write);
+    counts
 }
 
 #[cfg(test)]
@@ -243,10 +313,14 @@ mod tests {
 
     fn key(label: u32, child: &[u32], out: bool) -> SigKey {
         SigKey {
-            label: l(label),
+            label: Some(l(label)),
             child_labels: LabelSet::from_iter(child.iter().map(|&i| l(i))),
             out,
         }
+    }
+
+    fn wild(child: &[u32], out: bool) -> SigKey {
+        SigKey { label: None, child_labels: LabelSet::from_iter(child.iter().map(|&i| l(i))), out }
     }
 
     #[test]
@@ -308,6 +382,56 @@ mod tests {
                 assert_eq!(idx.run(id, v(p)), fresh.run(fid, v(p)), "sig {id} parent {p}");
             }
         }
+    }
+
+    #[test]
+    fn wildcard_bucket_counts_parallel_labels() {
+        let mut g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        // a −7→ b, a −8→ b: one deduped candidate backed by two labels.
+        let id = idx.acquire(&g, wild(&[1], true));
+        assert_eq!(idx.run(id, v(0)), &[v(1), v(2)], "deduped across labels");
+        idx.delete_edge(v(0), l(7), v(1));
+        g.delete_edge(v(0), l(7), v(1));
+        assert_eq!(idx.run(id, v(0)), &[v(1), v(2)], "l(8) parallel still backs b");
+        idx.delete_edge(v(0), l(8), v(1));
+        g.delete_edge(v(0), l(8), v(1));
+        assert_eq!(idx.run(id, v(0)), &[v(2)], "last backing edge gone");
+        // Incremental re-insertion restores the multiplicity.
+        g.insert_edge(v(0), l(7), v(1));
+        idx.insert_edge(&g, v(0), l(7), v(1));
+        g.insert_edge(v(0), l(8), v(1));
+        idx.insert_edge(&g, v(0), l(8), v(1));
+        assert_eq!(idx.run(id, v(0)), &[v(1), v(2)]);
+        idx.delete_edge(v(0), l(8), v(1));
+        g.delete_edge(v(0), l(8), v(1));
+        assert_eq!(idx.run(id, v(0)), &[v(1), v(2)]);
+    }
+
+    #[test]
+    fn wildcard_incremental_equals_rebuilt() {
+        let mut g = setup();
+        let mut idx = SharedCandidateIndex::new();
+        let keys = [wild(&[1], true), wild(&[0], false), wild(&[], true)];
+        let ids: Vec<u32> = keys.iter().map(|k| idx.acquire(&g, k.clone())).collect();
+
+        let d = g.add_vertex(LabelSet::single(l(1)));
+        g.insert_edge(v(0), l(9), d);
+        idx.insert_edge(&g, v(0), l(9), d);
+        idx.delete_edge(v(0), l(7), v(1));
+        g.delete_edge(v(0), l(7), v(1));
+
+        let mut fresh = SharedCandidateIndex::new();
+        let fresh_ids: Vec<u32> = keys.iter().map(|k| fresh.acquire(&g, k.clone())).collect();
+        for (&id, &fid) in ids.iter().zip(&fresh_ids) {
+            for p in 0..g.vertex_count() as u32 {
+                assert_eq!(idx.run(id, v(p)), fresh.run(fid, v(p)), "sig {id} parent {p}");
+            }
+        }
+        for id in ids {
+            idx.release(id);
+        }
+        assert_eq!(idx.signature_count(), 0, "wildcard slots released");
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Fleet-owned shared DCG subtree instances (multi-query optimization,
+//! phase 2).
+//!
+//! Phase 1 ([`crate::shared_index`]) shares single-edge candidate sets;
+//! overlapping queries still each maintain their own DCG over structure
+//! they have in common. This module shares whole *multi-edge* execution
+//! subtrees: at registration a [`crate::fleet::Fleet`] canonicalizes every
+//! complete root-child branch of each engine's execution tree
+//! ([`canonical_branch`]) and folds label-path-identical branches from
+//! different engines into one refcounted [`SharedSubtrees`] *instance* — a
+//! private maintenance-only [`TurboFlux`] engine over the synthetic prefix
+//! query "root plus that branch". The fleet driver maintains each instance
+//! exactly once per graph mutation; every sharing engine reads the
+//! instance's DCG state for its branch vertices instead of building and
+//! maintaining that region privately, and runs only its private suffix.
+//!
+//! # Why the states can be shared at all
+//!
+//! The DCG state below a tree edge is a pure function of the data graph,
+//! the query subtree below that edge, and the set of stored root
+//! candidates ([`crate::spec::reference_dcg`]). A *complete* root-child
+//! subtree carries its entire downward closure with it, and the instance
+//! root keeps the engine root's label set (part of the [`SubtreeKey`]), so
+//! the instance's stored-root set equals each sharing engine's. Hence the
+//! instance's per-edge states, explicit counts, and adjacency runs are
+//! bit-for-bit the states every sharing engine would have maintained
+//! privately — reads can be redirected wholesale. Non-tree query edges
+//! never influence DCG state (they are verified against the data graph
+//! during enumeration only), so engines whose branches share a tree shape
+//! but differ in non-tree edges still share an instance.
+//!
+//! # Canonicalization
+//!
+//! A branch is keyed by its rooted label-path shape: per node the
+//! parent-edge label, orientation, and vertex label set, with children
+//! ordered by a memoized recursive subtree hash so isomorphic branches
+//! from different queries serialize to the same [`SubtreeKey`]. Hash ties
+//! among siblings are broken by original vertex id, which is only
+//! non-canonical when the tied siblings' subtrees are *identical* — and
+//! automorphic siblings map to interchangeable instance vertices with
+//! equal state, so any tie order yields a correct binding.
+//!
+//! # Determinism
+//!
+//! Instance maintenance runs the unmodified `InsertEdgeAndEval` /
+//! `DeleteEdgeAndEval` DCG transitions (enumeration suppressed via the
+//! engine's maintenance-only mode), driven at the same points of the op
+//! lifecycle at which the engines' own maintenance would have run — after
+//! graph mutation for insertions, before it for deletions. Sharing is
+//! therefore invisible in the delta stream; `tests/fleet_subtree_equivalence.rs`
+//! holds the fleet byte-identical to naive per-engine replay.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rustc_hash::FxHashMap;
+use tfx_graph::{DynamicGraph, LabelId, LabelSet, VertexId};
+use tfx_query::{MatchSemantics, QVertexId, QueryGraph, QueryTree};
+
+use crate::config::TurboFluxConfig;
+use crate::engine::TurboFlux;
+use crate::shared_index::SharedCandidateIndex;
+
+/// The fleet-shared read-only state an evaluation can draw on: the phase-1
+/// per-edge candidate index and the phase-2 subtree instances. Threaded
+/// through the evaluation core by value; [`FleetCtx::NONE`] for standalone
+/// engines and the sharded runtime.
+#[derive(Clone, Copy)]
+pub(crate) struct FleetCtx<'a> {
+    /// Phase-1 shared candidate runs ([`TurboFluxConfig::fleet_shared_index`]).
+    pub idx: Option<&'a SharedCandidateIndex>,
+    /// Phase-2 shared subtree instances
+    /// ([`TurboFluxConfig::fleet_shared_subtrees`]).
+    pub sub: Option<&'a SharedSubtrees>,
+}
+
+impl FleetCtx<'static> {
+    /// No fleet-shared state (standalone / sharded / ablated engines).
+    pub(crate) const NONE: FleetCtx<'static> = FleetCtx { idx: None, sub: None };
+}
+
+impl<'a> FleetCtx<'a> {
+    /// The subtree store. Panics if an engine with bound branches is
+    /// evaluated without its fleet's subtree context — binding and context
+    /// are both controlled by the fleet driver, so this is a driver bug.
+    #[inline]
+    pub(crate) fn subtrees(&self) -> &'a SharedSubtrees {
+        self.sub.expect("engine has shared branches but no subtree context was passed")
+    }
+}
+
+/// One node of a canonicalized branch, in canonical preorder.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct KeyNode {
+    /// Instance vertex id of the tree parent (`0` = the instance root).
+    pub parent: u32,
+    /// Parent-edge label (`None` = wildcard).
+    pub label: Option<LabelId>,
+    /// `true` if this node is the *target* of its parent edge.
+    pub out: bool,
+    /// The node's vertex label set.
+    pub labels: LabelSet,
+}
+
+/// Canonical identity of a shareable execution-tree branch: the engine
+/// root's label set plus the branch's nodes in canonical preorder.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SubtreeKey {
+    /// Label set of the sharing engine's root query vertex (pins the
+    /// instance's stored-root candidate set).
+    pub root_labels: LabelSet,
+    /// Branch nodes in canonical preorder; instance vertex `i + 1`
+    /// corresponds to `nodes[i]`.
+    pub nodes: Vec<KeyNode>,
+}
+
+/// A branch of one engine's execution tree bound to a shared instance.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BoundBranch {
+    /// Instance id in the owning [`SharedSubtrees`].
+    pub inst: u32,
+    /// The instance-side branch root (the instance root's child the
+    /// engine-side branch root maps to).
+    pub inst_root_u: QVertexId,
+}
+
+/// Memoized structural hash of the subtree under `u`: parent-edge label,
+/// orientation, label set, and the *sorted* child hashes, so isomorphic
+/// subtrees hash equal regardless of child declaration order.
+fn subtree_hash(
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    memo: &mut FxHashMap<u32, u64>,
+) -> u64 {
+    if let Some(&h) = memo.get(&u.0) {
+        return h;
+    }
+    let mut kids: Vec<u64> =
+        tree.children(u).iter().map(|&c| subtree_hash(q, tree, c, memo)).collect();
+    kids.sort_unstable();
+    let mut h = DefaultHasher::new();
+    let e = tree.parent_edge(u).expect("branch nodes are non-root");
+    q.edge(e).label.hash(&mut h);
+    tree.child_is_target(u).hash(&mut h);
+    q.labels(u).hash(&mut h);
+    kids.hash(&mut h);
+    let h = h.finish();
+    memo.insert(u.0, h);
+    h
+}
+
+/// Canonical preorder serialization of the subtree under `u`, appending to
+/// `key.nodes` and recording `engine vertex → instance vertex` pairs.
+fn walk(
+    q: &QueryGraph,
+    tree: &QueryTree,
+    u: QVertexId,
+    parent_pos: u32,
+    memo: &FxHashMap<u32, u64>,
+    key: &mut SubtreeKey,
+    map: &mut Vec<(QVertexId, QVertexId)>,
+) {
+    let pos = key.nodes.len() as u32 + 1;
+    let e = tree.parent_edge(u).expect("branch nodes are non-root");
+    key.nodes.push(KeyNode {
+        parent: parent_pos,
+        label: q.edge(e).label,
+        out: tree.child_is_target(u),
+        labels: q.labels(u).clone(),
+    });
+    map.push((u, QVertexId(pos)));
+    let mut kids: Vec<QVertexId> = tree.children(u).to_vec();
+    kids.sort_by_key(|&c| (memo[&c.0], c.0));
+    for c in kids {
+        walk(q, tree, c, pos, memo, key, map);
+    }
+}
+
+/// Canonicalizes the complete root-child branch of `tree` rooted at
+/// `branch_root`, returning its [`SubtreeKey`] and the engine-vertex →
+/// instance-vertex binding in canonical preorder (the branch root maps to
+/// instance vertex 1).
+pub(crate) fn canonical_branch(
+    q: &QueryGraph,
+    tree: &QueryTree,
+    branch_root: QVertexId,
+) -> (SubtreeKey, Vec<(QVertexId, QVertexId)>) {
+    debug_assert_eq!(tree.parent(branch_root), Some(tree.root()), "branches hang off the root");
+    let mut memo = FxHashMap::default();
+    subtree_hash(q, tree, branch_root, &mut memo);
+    let mut key = SubtreeKey { root_labels: q.labels(tree.root()).clone(), nodes: Vec::new() };
+    let mut map = Vec::new();
+    walk(q, tree, branch_root, 0, &memo, &mut key, &mut map);
+    (key, map)
+}
+
+/// The synthetic prefix query of a key: instance root (vertex 0) plus one
+/// vertex per key node, wired by the recorded parent positions.
+fn query_of(key: &SubtreeKey) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let mut ids = vec![q.add_vertex(key.root_labels.clone())];
+    for n in &key.nodes {
+        let u = q.add_vertex(n.labels.clone());
+        let p = ids[n.parent as usize];
+        if n.out {
+            q.add_edge(p, u, n.label);
+        } else {
+            q.add_edge(u, p, n.label);
+        }
+        ids.push(u);
+    }
+    q
+}
+
+/// Configuration of an instance engine: pure single-threaded DCG
+/// maintenance. Semantics and order adjustment are irrelevant to DCG state
+/// (the instance never enumerates and its order is never consulted), so
+/// they are pinned rather than inherited from any sharing engine.
+fn instance_cfg() -> TurboFluxConfig {
+    TurboFluxConfig {
+        semantics: MatchSemantics::Homomorphism,
+        adjust_matching_order: false,
+        label_indexed_adjacency: true,
+        parallel_workers: 1,
+        fleet_shared_index: false,
+        fleet_shared_subtrees: false,
+        ..TurboFluxConfig::default()
+    }
+}
+
+/// Which instances an updated data edge can affect: the labels used by the
+/// key's edges, or the wildcard list if *any* key edge is label-wildcarded
+/// (membership is exclusive, so routing never evaluates an instance twice).
+fn routing_of(key: &SubtreeKey) -> (Vec<LabelId>, bool) {
+    if key.nodes.iter().any(|n| n.label.is_none()) {
+        return (Vec::new(), true);
+    }
+    let mut labels: Vec<LabelId> =
+        key.nodes.iter().map(|n| n.label.expect("no wildcard nodes")).collect();
+    labels.sort_unstable_by_key(|l| l.0);
+    labels.dedup();
+    (labels, false)
+}
+
+/// One refcounted shared subtree instance.
+struct Instance {
+    key: SubtreeKey,
+    refs: usize,
+    eng: TurboFlux,
+    /// Dirty explicit-count bitmask (instance query-vertex indexed) of the
+    /// most recent maintenance round, harvested after every op so sharing
+    /// engines can fold it into their own drift detection. `0` for ops
+    /// that did not touch this instance.
+    last_dirty: u64,
+}
+
+/// Slot-arena of shared subtree instances plus lookup and routing maps.
+/// Owned by a [`crate::fleet::Fleet`]; maintained by its driver strictly
+/// between evaluation rounds, read by engines during rounds.
+#[derive(Default)]
+pub struct SharedSubtrees {
+    insts: Vec<Option<Instance>>,
+    free: Vec<u32>,
+    by_key: FxHashMap<SubtreeKey, u32>,
+    /// Live instance ids per concrete edge label used by their keys.
+    by_label: FxHashMap<LabelId, Vec<u32>>,
+    /// Live instance ids whose key uses a wildcard edge label (evaluated
+    /// on every edge mutation).
+    wildcard: Vec<u32>,
+}
+
+impl SharedSubtrees {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (referenced) instances.
+    pub fn instance_count(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Number of live instances actually shared by ≥ 2 branches.
+    pub fn shared_instance_count(&self) -> usize {
+        self.insts.iter().flatten().filter(|i| i.refs >= 2).count()
+    }
+
+    /// Acquires a reference on the instance for `key`, registering its
+    /// maintenance engine against the current graph on first acquisition.
+    pub(crate) fn acquire(&mut self, g: &DynamicGraph, key: SubtreeKey) -> u32 {
+        if let Some(&id) = self.by_key.get(&key) {
+            self.insts[id as usize].as_mut().expect("live instance").refs += 1;
+            return id;
+        }
+        let eng = TurboFlux::register_rooted(query_of(&key), g, instance_cfg(), QVertexId(0));
+        let inst = Instance { key: key.clone(), refs: 1, eng, last_dirty: 0 };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.insts[id as usize] = Some(inst);
+                id
+            }
+            None => {
+                self.insts.push(Some(inst));
+                (self.insts.len() - 1) as u32
+            }
+        };
+        self.by_key.insert(key.clone(), id);
+        let (labels, wild) = routing_of(&key);
+        if wild {
+            self.wildcard.push(id);
+        } else {
+            for l in labels {
+                self.by_label.entry(l).or_default().push(id);
+            }
+        }
+        id
+    }
+
+    /// Releases one reference on instance `id`, dropping its engine (and
+    /// recycling the slot) when the last referencing branch deregisters.
+    pub(crate) fn release(&mut self, id: u32) {
+        let inst = self.insts[id as usize].as_mut().expect("release of a dead instance");
+        inst.refs -= 1;
+        if inst.refs > 0 {
+            return;
+        }
+        let inst = self.insts[id as usize].take().expect("checked live above");
+        self.by_key.remove(&inst.key);
+        let (labels, wild) = routing_of(&inst.key);
+        if wild {
+            self.wildcard.retain(|&s| s != id);
+        } else {
+            for l in labels {
+                let ids = self.by_label.get_mut(&l).expect("label entry exists");
+                ids.retain(|&s| s != id);
+                if ids.is_empty() {
+                    self.by_label.remove(&l);
+                }
+            }
+        }
+        self.free.push(id);
+    }
+
+    /// The maintenance engine of instance `id` (engines read its DCG
+    /// through this during evaluation rounds).
+    #[inline]
+    pub(crate) fn eng(&self, id: u32) -> &TurboFlux {
+        &self.insts[id as usize].as_ref().expect("read of a dead instance").eng
+    }
+
+    /// The dirty explicit-count bitmask of `id`'s most recent maintenance
+    /// round (instance query-vertex indexed).
+    #[inline]
+    pub(crate) fn last_dirty(&self, id: u32) -> u64 {
+        self.insts[id as usize].as_ref().expect("read of a dead instance").last_dirty
+    }
+
+    /// Registers instance root candidates for data vertices with id ≥
+    /// `from` (the caller grew the graph).
+    pub(crate) fn register_new_vertices(&mut self, g: &DynamicGraph, from: VertexId) {
+        for inst in self.insts.iter_mut().flatten() {
+            inst.eng.register_new_vertices(g, from);
+        }
+    }
+
+    /// Folds the (already applied) insertion of data edge
+    /// `(src, label, dst)` into every instance whose key can match it, and
+    /// refreshes every instance's harvested dirty mask.
+    pub(crate) fn maintain_insert(
+        &mut self,
+        g: &DynamicGraph,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+    ) {
+        let SharedSubtrees { insts, by_label, wildcard, .. } = self;
+        if let Some(ids) = by_label.get(&label) {
+            for &id in ids {
+                let inst = insts[id as usize].as_mut().expect("routing lists live instances");
+                inst.eng.eval_inserted_edge(g, src, label, dst, &mut |_, _| {});
+            }
+        }
+        for &id in wildcard.iter() {
+            let inst = insts[id as usize].as_mut().expect("routing lists live instances");
+            inst.eng.eval_inserted_edge(g, src, label, dst, &mut |_, _| {});
+        }
+        for inst in insts.iter_mut().flatten() {
+            inst.last_dirty = inst.eng.dcg.take_dirty_expl();
+        }
+    }
+
+    /// Folds the impending deletion of data edge `(src, label, dst)` out of
+    /// every instance whose key can match it (called before the edge leaves
+    /// the graph, mirroring when engines evaluate deletions), and refreshes
+    /// every instance's harvested dirty mask.
+    pub(crate) fn maintain_delete(
+        &mut self,
+        g: &DynamicGraph,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+    ) {
+        let SharedSubtrees { insts, by_label, wildcard, .. } = self;
+        if let Some(ids) = by_label.get(&label) {
+            for &id in ids {
+                let inst = insts[id as usize].as_mut().expect("routing lists live instances");
+                inst.eng.eval_deleting_edge(g, src, label, dst, &mut |_, _| {});
+            }
+        }
+        for &id in wildcard.iter() {
+            let inst = insts[id as usize].as_mut().expect("routing lists live instances");
+            inst.eng.eval_deleting_edge(g, src, label, dst, &mut |_, _| {});
+        }
+        for inst in insts.iter_mut().flatten() {
+            inst.last_dirty = inst.eng.dcg.take_dirty_expl();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfx_graph::GraphStats;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn ls(is: &[u32]) -> LabelSet {
+        LabelSet::from_iter(is.iter().map(|&i| l(i)))
+    }
+
+    /// Query A −7→ B −8→ C with an extra root child A −9→ D, analyzed
+    /// against a graph making A the start vertex.
+    fn two_branch_query() -> (QueryGraph, QueryTree) {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(ls(&[0]));
+        let b = q.add_vertex(ls(&[1]));
+        let c = q.add_vertex(ls(&[2]));
+        let d = q.add_vertex(ls(&[3]));
+        q.add_edge(a, b, Some(l(7)));
+        q.add_edge(b, c, Some(l(8)));
+        q.add_edge(a, d, Some(l(9)));
+        let g = seed_graph();
+        let stats = GraphStats::new(&g);
+        let tree = QueryTree::build(&q, a, &stats);
+        (q, tree)
+    }
+
+    /// a:A, b:B, c:C, d:D with a −7→ b −8→ c and a −9→ d.
+    fn seed_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(ls(&[0]));
+        let b = g.add_vertex(ls(&[1]));
+        let c = g.add_vertex(ls(&[2]));
+        let d = g.add_vertex(ls(&[3]));
+        g.insert_edge(a, l(7), b);
+        g.insert_edge(b, l(8), c);
+        g.insert_edge(a, l(9), d);
+        g
+    }
+
+    #[test]
+    fn canonical_branch_maps_preorder_and_reorders_isomorphically() {
+        let (q, tree) = two_branch_query();
+        let (key, map) = canonical_branch(&q, &tree, QVertexId(1));
+        assert_eq!(key.root_labels, ls(&[0]));
+        assert_eq!(key.nodes.len(), 2, "B and C");
+        assert_eq!(key.nodes[0].parent, 0);
+        assert_eq!(key.nodes[0].label, Some(l(7)));
+        assert_eq!(key.nodes[1].parent, 1);
+        assert_eq!(key.nodes[1].label, Some(l(8)));
+        assert_eq!(map, vec![(QVertexId(1), QVertexId(1)), (QVertexId(2), QVertexId(2))]);
+
+        // The same branch declared with permuted sibling order in another
+        // query canonicalizes to the same key.
+        let mut q2 = QueryGraph::new();
+        let a = q2.add_vertex(ls(&[0]));
+        let d = q2.add_vertex(ls(&[3]));
+        let b = q2.add_vertex(ls(&[1]));
+        let c = q2.add_vertex(ls(&[2]));
+        q2.add_edge(a, d, Some(l(9)));
+        q2.add_edge(a, b, Some(l(7)));
+        q2.add_edge(b, c, Some(l(8)));
+        let g = seed_graph();
+        let tree2 = QueryTree::build(&q2, a, &GraphStats::new(&g));
+        let (key2, map2) = canonical_branch(&q2, &tree2, b);
+        assert_eq!(key, key2, "isomorphic branches share a key");
+        assert_eq!(map2[0], (b, QVertexId(1)));
+
+        // The single-vertex D branch keys differently.
+        let (key_d, _) = canonical_branch(&q, &tree, QVertexId(3));
+        assert_ne!(key, key_d);
+        assert_eq!(query_of(&key_d).edge_count(), 1);
+    }
+
+    #[test]
+    fn query_of_rebuilds_the_prefix_shape() {
+        let (q, tree) = two_branch_query();
+        let (key, _) = canonical_branch(&q, &tree, QVertexId(1));
+        let pq = query_of(&key);
+        assert_eq!(pq.vertex_count(), 3, "root + branch");
+        assert_eq!(pq.edge_count(), 2);
+        assert_eq!(pq.labels(QVertexId(0)), &ls(&[0]));
+        assert_eq!(pq.labels(QVertexId(1)), &ls(&[1]));
+        assert_eq!(pq.labels(QVertexId(2)), &ls(&[2]));
+        assert!(pq.is_connected());
+    }
+
+    #[test]
+    fn acquire_release_refcounts_and_recycles() {
+        let g = seed_graph();
+        let (q, tree) = two_branch_query();
+        let (key, _) = canonical_branch(&q, &tree, QVertexId(1));
+        let mut sub = SharedSubtrees::new();
+        let a = sub.acquire(&g, key.clone());
+        let b = sub.acquire(&g, key.clone());
+        assert_eq!(a, b, "same key shares one instance");
+        assert_eq!(sub.instance_count(), 1);
+        assert_eq!(sub.shared_instance_count(), 1);
+        sub.release(a);
+        assert_eq!(sub.instance_count(), 1, "still referenced");
+        assert_eq!(sub.shared_instance_count(), 0);
+        sub.release(b);
+        assert_eq!(sub.instance_count(), 0);
+        // The freed slot is recycled for the next distinct key.
+        let (key_d, _) = canonical_branch(&q, &tree, QVertexId(3));
+        let c = sub.acquire(&g, key_d);
+        assert_eq!(c, a, "slot recycled");
+        sub.release(c);
+    }
+
+    #[test]
+    fn maintenance_tracks_the_graph_and_harvests_dirty_bits() {
+        let mut g = seed_graph();
+        let (q, tree) = two_branch_query();
+        let (key, _) = canonical_branch(&q, &tree, QVertexId(1));
+        let mut sub = SharedSubtrees::new();
+        let id = sub.acquire(&g, key.clone());
+        // Initial graph: a −7→ b −8→ c fully matches the prefix.
+        assert_eq!(
+            sub.eng(id).dcg.state(VertexId(0), QVertexId(1), VertexId(1)),
+            Some(crate::dcg::EdgeState::Explicit)
+        );
+        // Deleting b −8→ c downgrades the branch edge.
+        sub.maintain_delete(&g, VertexId(1), l(8), VertexId(2));
+        g.delete_edge(VertexId(1), l(8), VertexId(2));
+        assert_eq!(
+            sub.eng(id).dcg.state(VertexId(0), QVertexId(1), VertexId(1)),
+            Some(crate::dcg::EdgeState::Implicit)
+        );
+        assert_ne!(sub.last_dirty(id), 0, "explicit counts changed");
+        // Re-inserting restores it; the maintained state equals a fresh
+        // registration against the final graph.
+        g.insert_edge(VertexId(1), l(8), VertexId(2));
+        sub.maintain_insert(&g, VertexId(1), l(8), VertexId(2));
+        let mut fresh = SharedSubtrees::new();
+        let fid = fresh.acquire(&g, key);
+        assert_eq!(sub.eng(id).dcg.snapshot(), fresh.eng(fid).dcg.snapshot());
+        // An unrelated label routes nowhere and leaves dirty masks clean.
+        let e = g.add_vertex(ls(&[5]));
+        sub.register_new_vertices(&g, e);
+        g.insert_edge(VertexId(0), l(42), e);
+        sub.maintain_insert(&g, VertexId(0), l(42), e);
+        assert_eq!(sub.last_dirty(id), 0, "untouched op clears the harvest");
+    }
+
+    #[test]
+    fn wildcard_keys_route_through_the_wildcard_list() {
+        let mut g = seed_graph();
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(ls(&[0]));
+        let b = q.add_vertex(ls(&[1]));
+        let c = q.add_vertex(ls(&[2]));
+        q.add_edge(a, b, None);
+        q.add_edge(b, c, Some(l(8)));
+        let tree = QueryTree::build(&q, a, &GraphStats::new(&g));
+        let (key, _) = canonical_branch(&q, &tree, b);
+        let (labels, wild) = routing_of(&key);
+        assert!(wild && labels.is_empty(), "any wildcard edge routes the whole key");
+        let mut sub = SharedSubtrees::new();
+        let id = sub.acquire(&g, key);
+        // An arbitrary-label edge into b's position must reach the
+        // instance: a −3→ b backs the wildcard tree edge.
+        g.insert_edge(VertexId(0), l(3), VertexId(1));
+        sub.maintain_insert(&g, VertexId(0), l(3), VertexId(1));
+        assert!(sub.eng(id).dcg.state(VertexId(0), QVertexId(1), VertexId(1)).is_some());
+        sub.release(id);
+        assert_eq!(sub.instance_count(), 0);
+    }
+}

@@ -43,16 +43,28 @@ echo "=== window_churn (quick) ==="
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench window_churn
 
-echo "=== fleet shared-index / routing (quick) ==="
-# The overlap group self-checks that the shared candidate index is hit and
-# that shared/naive emit identical delta counts; the disjoint group
-# self-checks that label routing skips uninterested engines. Two filtered
-# invocations: an unfiltered run would also pay for the slow random-query
-# fleet_throughput groups.
+echo "=== fleet shared-index / subtrees / routing (quick) ==="
+# Every invocation of the fleet bench runs ALL the sanity blocks (overlap
+# index hits, prefix subtree hits + three-way delta agreement, disjoint
+# routing skips) before its filtered timing groups, so the self-checks run
+# regardless of filter. Three filtered invocations keep the timing cheap:
+# an unfiltered run would also pay for the slow random-query
+# fleet_throughput groups and the large prefix_q{16,64} ablation series.
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
-  cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_shared
+  cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_shared/overlap
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_shared/prefix_q4
 TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
   cargo bench --offline -p tfx-bench --bench fleet_throughput -- fleet_routing
+
+echo "=== shard_scaling guard (quick) ==="
+# Runs the pre-timing sanity asserts: delta agreement at shards {1,2,4,8}
+# and the shards=1 fast-path regression guard (min-of-7 within 1.5x of the
+# unsharded engine on uniform and hub — see DESIGN.md). The shards1 filter
+# skips the multi-shard timing series, which are pure barrier churn on a
+# 1-core host.
+TFX_BENCH_WARMUP_MS=20 TFX_BENCH_MEASURE_MS=50 \
+  cargo bench --offline -p tfx-bench --bench shard_scaling -- shards1
 
 echo "=== motif (quick) ==="
 # Asserts PivotScan and Intersect count the same motifs before timing, and

@@ -561,12 +561,19 @@ fn stream_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Multi-query fleets report their routing / shared-index counters.
+    // Multi-query fleets report their routing / shared-index / shared-subtree
+    // counters.
     if let Some(s) = target.as_batch_target().fleet_stats() {
         let _ = writeln!(
             out,
-            "{{\"type\":\"fleet_stats\",\"ops_routed\":{},\"ops_skipped\":{},\"shared_hits\":{},\"shared_misses\":{}}}",
-            s.ops_routed, s.ops_skipped, s.shared_hits, s.shared_misses
+            "{{\"type\":\"fleet_stats\",\"ops_routed\":{},\"ops_skipped\":{},\"shared_hits\":{},\"shared_misses\":{},\"subtrees_shared\":{},\"subtree_hits\":{},\"suffix_evals\":{}}}",
+            s.ops_routed,
+            s.ops_skipped,
+            s.shared_hits,
+            s.shared_misses,
+            s.subtrees_shared,
+            s.subtree_hits,
+            s.suffix_evals
         );
     }
     // Sharded targets report their partition-routing counters.

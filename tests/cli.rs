@@ -125,6 +125,15 @@ fn cli_stream_subcommand_synthetic_fleet() {
     let (stdout, stderr) = run();
     // Two engines over the same query: two init lines, identical counts.
     assert_eq!(stdout.lines().filter(|l| l.contains("\"type\":\"init\"")).count(), 2);
+    // The fleet stats line carries the phase-1 index counters and the
+    // phase-2 shared-subtree counters.
+    let fs = stdout
+        .lines()
+        .find(|l| l.contains("\"type\":\"fleet_stats\""))
+        .expect("fleet_stats JSONL line");
+    for key in ["ops_routed", "shared_hits", "subtrees_shared", "subtree_hits", "suffix_evals"] {
+        assert!(fs.contains(key), "fleet_stats line missing {key}: {fs}");
+    }
     assert!(stderr.contains("processed 4000 events"), "stderr: {stderr}");
     // Deterministic: the generator is seeded, so a second run reports the
     // same delta totals (strip the timing from the summary line first).

@@ -1,0 +1,291 @@
+//! Randomized byte-equality oracle for shared DCG subtree prefixes
+//! (multi-query sharing phase 2).
+//!
+//! Each scenario registers a set of queries guaranteed to contain two
+//! engines with an identical deep tree branch (so a shared subtree
+//! instance provably serves ≥ 2 engines) plus random extra queries,
+//! applies a first op batch, deregisters one of the sharing engines,
+//! re-registers the same prefix query mid-stream (refcount churn:
+//! 2 → 1 → 2 on the live instance), and applies a second batch. The
+//! emitted delta sequence — sequential and parallel, subtree sharing on
+//! and off, homomorphism and isomorphism — must be byte-identical to
+//! naive per-engine replay with standalone [`TurboFlux`] engines. The
+//! sharing counters must be non-vacuous with the flag on
+//! (`subtree_hits > 0`, `suffix_evals > 0`, a live `subtrees_shared`
+//! gauge ≥ 1) and exactly zero with it off.
+
+use std::collections::HashSet;
+use turboflux::datagen::Pcg32;
+use turboflux::prelude::*;
+use turboflux::FleetDelta;
+
+type Delta = (usize, usize, Positiveness, MatchRecord);
+
+/// The deterministic prefix query: a 4-vertex chain
+/// `L0 -10-> L1 -11-> L2 -12-> L3`. Whatever start vertex the engine
+/// derives, a rooted tree over a 4-chain always has a root-child branch
+/// with ≥ 2 vertices, and two engines running this exact query derive the
+/// identical tree — so their branches canonicalize to the same key and a
+/// shared instance provably serves both.
+fn chain_query() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for i in 0..4 {
+        q.add_vertex(LabelSet::single(LabelId(i)));
+    }
+    q.add_edge(QVertexId(0), QVertexId(1), Some(LabelId(10)));
+    q.add_edge(QVertexId(1), QVertexId(2), Some(LabelId(11)));
+    q.add_edge(QVertexId(2), QVertexId(3), Some(LabelId(12)));
+    q
+}
+
+/// A random tree-shaped query over the same label palette, sometimes
+/// embedding the chain's prefix edges so cross-query sharing (different
+/// suffixes, equal branch) also occurs.
+fn random_query(rng: &mut Pcg32, nq: u32) -> QueryGraph {
+    let mut q = QueryGraph::new();
+    for _ in 0..nq {
+        q.add_vertex(LabelSet::single(LabelId(rng.below(4) as u32)));
+    }
+    let mut seen = HashSet::new();
+    for child in 1..nq {
+        let parent = if rng.below(2) == 0 { child - 1 } else { rng.below(child as usize) as u32 };
+        let label = if rng.below(8) == 0 { None } else { Some(LabelId(10 + rng.below(3) as u32)) };
+        let (s, d) = if rng.below(4) == 0 { (child, parent) } else { (parent, child) };
+        if seen.insert((s, d, label)) {
+            q.add_edge(QVertexId(s), QVertexId(d), label);
+        }
+    }
+    q
+}
+
+struct Scenario {
+    g0: DynamicGraph,
+    queries: Vec<QueryGraph>,
+    /// Registered against the post-batch-1 graph (another chain copy, so
+    /// the churned instance is re-acquired).
+    late_query: QueryGraph,
+    /// Deregistered between the batches: one of the two chain twins.
+    victim: usize,
+    ops1: Vec<UpdateOp>,
+    ops2: Vec<UpdateOp>,
+}
+
+/// Picks an edge compatible with the chain query: `Lk -(10+k)-> Lk+1` for a
+/// random layer `k`, with both endpoints drawn among vertices of the right
+/// label. Falls back to a fully random edge when a layer is unpopulated.
+fn chain_aligned_edge(rng: &mut Pcg32, vlabels: &[u32]) -> (VertexId, LabelId, VertexId) {
+    let k = rng.below(3) as u32;
+    let srcs: Vec<u32> = (0..vlabels.len() as u32).filter(|&v| vlabels[v as usize] == k).collect();
+    let dsts: Vec<u32> =
+        (0..vlabels.len() as u32).filter(|&v| vlabels[v as usize] == k + 1).collect();
+    if srcs.is_empty() || dsts.is_empty() {
+        let a = VertexId(rng.below(vlabels.len()) as u32);
+        let b = VertexId(rng.below(vlabels.len()) as u32);
+        return (a, LabelId(10 + rng.below(4) as u32), b);
+    }
+    let a = VertexId(srcs[rng.below(srcs.len())]);
+    let b = VertexId(dsts[rng.below(dsts.len())]);
+    (a, LabelId(10 + k), b)
+}
+
+fn random_ops(
+    rng: &mut Pcg32,
+    n: usize,
+    vlabels: &mut Vec<u32>,
+    live: &mut Vec<(VertexId, LabelId, VertexId)>,
+) -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for _ in 0..n {
+        match rng.below(10) {
+            0 => {
+                let l = rng.below(4) as u32;
+                ops.push(UpdateOp::AddVertex {
+                    id: VertexId(vlabels.len() as u32),
+                    labels: LabelSet::single(LabelId(l)),
+                });
+                vlabels.push(l);
+            }
+            1..=3 if !live.is_empty() => {
+                let (a, l, b) = live.swap_remove(rng.below(live.len()));
+                ops.push(UpdateOp::DeleteEdge { src: a, label: l, dst: b });
+            }
+            4..=5 => {
+                let a = VertexId(rng.below(vlabels.len()) as u32);
+                let b = VertexId(rng.below(vlabels.len()) as u32);
+                let l = LabelId(10 + rng.below(4) as u32);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+            _ => {
+                let (a, l, b) = chain_aligned_edge(rng, vlabels);
+                ops.push(UpdateOp::InsertEdge { src: a, label: l, dst: b });
+                live.push((a, l, b));
+            }
+        }
+    }
+    ops
+}
+
+fn random_scenario(rng: &mut Pcg32) -> Scenario {
+    // Initial graph: vertices over the chain's 4 labels, pre-seeded with
+    // chain-label edges so the shared branch has candidates from the start.
+    let nv = 8 + rng.below(4) as u32;
+    let mut g = DynamicGraph::new();
+    let mut vlabels = Vec::new();
+    for i in 0..nv {
+        g.add_vertex(LabelSet::single(LabelId(i % 4)));
+        vlabels.push(i % 4);
+    }
+    // One guaranteed full chain embedding plus chain-biased noise.
+    for k in 0..3u32 {
+        g.insert_edge(VertexId(k), LabelId(10 + k), VertexId(k + 1));
+    }
+    let noise = 4 + rng.below(8);
+    for _ in 0..noise {
+        let (a, l, b) = chain_aligned_edge(rng, &vlabels);
+        g.insert_edge(a, l, b);
+    }
+
+    // Engines 0 and 1 are the chain twins; the rest are random.
+    let mut queries = vec![chain_query(), chain_query()];
+    let extra = 1 + rng.below(2);
+    for _ in 0..extra {
+        let nq = 3 + rng.below(3) as u32;
+        queries.push(random_query(rng, nq));
+    }
+    let victim = rng.below(2); // always one of the twins
+    let late_query = chain_query();
+
+    let mut live: Vec<(VertexId, LabelId, VertexId)> =
+        g.edges().map(|e| (e.src, e.label, e.dst)).collect();
+    let n1 = 8 + rng.below(8);
+    let ops1 = random_ops(rng, n1, &mut vlabels, &mut live);
+    let n2 = 8 + rng.below(8);
+    let ops2 = random_ops(rng, n2, &mut vlabels, &mut live);
+    Scenario { g0: g, queries, late_query, victim, ops1, ops2 }
+}
+
+/// Naive per-engine replay: one standalone engine per query applying ops
+/// one at a time; the victim stops after batch 1, the late engine starts
+/// from `g_mid`.
+fn standalone_deltas(
+    s: &Scenario,
+    cfg: &TurboFluxConfig,
+    g_mid: &DynamicGraph,
+) -> (Vec<Delta>, Vec<Delta>) {
+    let mut batch1 = Vec::new();
+    let mut batch2 = Vec::new();
+    for (id, q) in s.queries.iter().enumerate() {
+        let mut engine = TurboFlux::new(q.clone(), s.g0.clone(), *cfg);
+        for (op_index, op) in s.ops1.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| batch1.push((id, op_index, p, r.clone())));
+        }
+        if id == s.victim {
+            continue;
+        }
+        for (op_index, op) in s.ops2.iter().enumerate() {
+            engine.apply_op(op, &mut |p, r| batch2.push((id, op_index, p, r.clone())));
+        }
+    }
+    let late_id = s.queries.len();
+    let mut engine = TurboFlux::new(s.late_query.clone(), g_mid.clone(), *cfg);
+    for (op_index, op) in s.ops2.iter().enumerate() {
+        engine.apply_op(op, &mut |p, r| batch2.push((late_id, op_index, p, r.clone())));
+    }
+    (batch1, batch2)
+}
+
+/// Runs the full scenario on one fleet configuration; returns the two
+/// batches' delta sequences, the final stats, the mid-stream graph, and
+/// the `subtrees_shared` gauge observed right after initial registration.
+fn fleet_deltas(
+    s: &Scenario,
+    cfg: &TurboFluxConfig,
+    threads: usize,
+    parallel: bool,
+) -> (Vec<Delta>, Vec<Delta>, turboflux::FleetStats, DynamicGraph, u64) {
+    let mut fleet = Fleet::with_threads(s.g0.clone(), threads);
+    let mut ids = Vec::new();
+    for q in &s.queries {
+        ids.push(fleet.register(q.clone(), *cfg));
+    }
+    let gauge_after_register = fleet.stats().subtrees_shared;
+    let collect = |fleet: &mut Fleet, ops: &[UpdateOp], parallel: bool| {
+        let mut out: Vec<Delta> = Vec::new();
+        let mut sink = |d: FleetDelta<'_>| {
+            out.push((d.engine, d.op_index, d.positiveness, d.record.clone()));
+        };
+        if parallel {
+            fleet.apply_batch(ops, &mut sink);
+        } else {
+            fleet.apply_batch_sequential(ops, &mut sink);
+        }
+        out
+    };
+    let batch1 = collect(&mut fleet, &s.ops1, parallel);
+    let g_mid = fleet.graph().clone();
+    assert!(fleet.deregister(ids[s.victim]));
+    let late_id = fleet.register(s.late_query.clone(), *cfg);
+    assert_eq!(late_id, s.queries.len(), "stable ids continue past deregistration");
+    let batch2 = collect(&mut fleet, &s.ops2, parallel);
+    let stats = fleet.stats();
+    (batch1, batch2, stats, g_mid, gauge_after_register)
+}
+
+fn run(seed: u64, semantics: MatchSemantics) {
+    let mut rng = Pcg32::new(seed);
+    let shared_on = TurboFluxConfig { semantics, ..TurboFluxConfig::default() };
+    let shared_off = TurboFluxConfig { fleet_shared_subtrees: false, ..shared_on };
+    let mut exercised = 0;
+    let mut nonempty = 0;
+    let (mut hits_total, mut suffix_total) = (0u64, 0u64);
+    for _ in 0..25 {
+        let s = random_scenario(&mut rng);
+        let valid = |q: &QueryGraph| q.edge_count() > 0 && q.is_connected();
+        if !s.queries.iter().all(valid) {
+            continue;
+        }
+        exercised += 1;
+        // Reference run (sequential, sharing on) also yields the graph
+        // state at the late engine's registration, which the oracle needs.
+        let (f1, f2, stats, g_mid, gauge) = fleet_deltas(&s, &shared_on, 1, false);
+        let (want1, want2) = standalone_deltas(&s, &shared_on, &g_mid);
+        assert_eq!(f1, want1, "sequential shared-subtree fleet != naive replay (batch 1)");
+        assert_eq!(f2, want2, "sequential shared-subtree fleet != naive replay (batch 2)");
+        assert!(gauge >= 1, "chain twins must share an instance (refs >= 2)");
+        hits_total += stats.subtree_hits;
+        suffix_total += stats.suffix_evals;
+
+        for (cfg, threads, parallel, what) in [
+            (&shared_on, 4, true, "parallel shared-subtree"),
+            (&shared_off, 1, false, "sequential unshared"),
+            (&shared_off, 4, true, "parallel unshared"),
+        ] {
+            let (b1, b2, st, _, _) = fleet_deltas(&s, cfg, threads, parallel);
+            assert_eq!(b1, want1, "{what} fleet != naive replay (batch 1)");
+            assert_eq!(b2, want2, "{what} fleet != naive replay (batch 2)");
+            if !cfg.fleet_shared_subtrees {
+                assert_eq!(st.subtrees_shared, 0, "{what}: flag off must not bind branches");
+                assert_eq!(st.subtree_hits, 0, "{what}: flag off must not skip regions");
+                assert_eq!(st.suffix_evals, 0, "{what}: flag off runs plain evals");
+            }
+        }
+        if !want1.is_empty() || !want2.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(exercised >= 10, "only {exercised} scenarios exercised");
+    assert!(nonempty >= 3, "only {nonempty} scenarios produced matches");
+    assert!(hits_total > 0, "shared instances never served a region (vacuous)");
+    assert!(suffix_total > 0, "no suffix evaluations ran against shared branches");
+}
+
+#[test]
+fn subtree_shared_fleet_matches_naive_replay_homomorphism() {
+    run(0x51_B7EE5, MatchSemantics::Homomorphism);
+}
+
+#[test]
+fn subtree_shared_fleet_matches_naive_replay_isomorphism() {
+    run(0x150_5B75, MatchSemantics::Isomorphism);
+}
